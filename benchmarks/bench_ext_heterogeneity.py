@@ -1,0 +1,65 @@
+"""Extension ablation — straggler sensitivity of synchronous training.
+
+The Section 4.4 barrier means every phase ends when the slowest worker
+finishes, so one slow machine taxes the whole cluster.  This bench
+quantifies the effect (and shows communication is untouched) — the
+problem the authors' companion heterogeneity-aware PS work targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.datasets import synthesis_like
+
+from conftest import bench_scale
+
+
+def test_ext_straggler_sensitivity(benchmark, report):
+    scale = bench_scale()
+    data = synthesis_like(scale=0.15 * scale, seed=3)
+    config = TrainConfig(
+        n_trees=4, max_depth=6, n_split_candidates=20, learning_rate=0.2
+    )
+    scenarios = [
+        ("uniform cluster", None),
+        ("one worker at 50%", (1.0,) * 7 + (0.5,)),
+        ("one worker at 25%", (1.0,) * 7 + (0.25,)),
+    ]
+
+    def run():
+        rows = []
+        for label, speeds in scenarios:
+            cluster = ClusterConfig(
+                n_workers=8, n_servers=8, worker_speeds=speeds
+            )
+            result = train_distributed("dimboost", data, cluster, config)
+            rows.append(
+                [
+                    label,
+                    result.sim_seconds,
+                    result.breakdown.computation,
+                    result.breakdown.communication,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = rows[0][1]
+    for row in rows:
+        row.append(row[1] / baseline)
+    report.add_table(
+        "Extension: straggler sensitivity (synchronous barriers)",
+        ["scenario", "sim seconds", "computation", "communication", "slowdown"],
+        rows,
+        notes="8 workers; barriers pay the slowest machine",
+    )
+    times = [row[1] for row in rows]
+    comps = [row[2] for row in rows]
+    assert times[0] < times[1] < times[2]
+    # The 25% straggler should inflate compute by roughly its slowdown
+    # share, and communication stays flat.
+    assert comps[2] > comps[0] * 2.0
+    comms = [row[3] for row in rows]
+    assert abs(comms[2] - comms[0]) / comms[0] < 0.3

@@ -1,0 +1,56 @@
+"""Extension ablation — histogram subtraction (DESIGN.md section 5).
+
+Not in the paper (it is LightGBM's trick), but a natural extension of
+the Section 5 histogram machinery: derive each split's larger child as
+``parent - smaller child``, building only one histogram per pair.  This
+bench quantifies the build-count and wall-clock savings and verifies
+the objective is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.datasets import gender_like
+
+from conftest import bench_scale
+
+
+def test_ext_histogram_subtraction(benchmark, report):
+    scale = bench_scale()
+    data = gender_like(scale=0.15 * scale, seed=2)
+    config = TrainConfig(
+        n_trees=4, max_depth=7, n_split_candidates=20, learning_rate=0.2
+    )
+
+    def run():
+        rows = []
+        for label, subtraction in (("build both children", False),
+                                   ("subtraction (build smaller)", True)):
+            trainer = GBDT(config, subtraction=subtraction)
+            t0 = time.perf_counter()
+            trainer.fit(data)
+            seconds = time.perf_counter() - t0
+            rows.append(
+                [
+                    label,
+                    sum(r.n_histograms for r in trainer.history),
+                    seconds,
+                    trainer.history[-1].train_loss,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        "Extension: histogram subtraction",
+        ["configuration", "histograms built", "fit seconds", "final train loss"],
+        rows,
+        notes="derived siblings are exact; losses must match",
+    )
+    plain, subtracted = rows
+    assert subtracted[1] < plain[1]  # fewer histograms
+    assert subtracted[3] == pytest.approx(plain[3], rel=1e-4)  # same loss

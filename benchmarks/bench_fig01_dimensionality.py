@@ -1,0 +1,49 @@
+"""Figure 1 — performance of XGBoost vs DimBoost vs feature dimension.
+
+The paper's opening figure: on a Gender-style dataset, XGBoost's time
+grows steeply with the number of features while DimBoost's stays nearly
+flat.  We sweep feature-prefix subsets of a gender-like dataset and train
+one tree-budget with both systems, reporting simulated cluster time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.datasets import gender_like
+
+from conftest import bench_scale
+
+
+def test_fig1_time_vs_features(benchmark, report):
+    scale = bench_scale()
+    data = gender_like(scale=0.15 * scale, seed=0)
+    cluster = ClusterConfig(n_workers=5, n_servers=5)
+    config = TrainConfig(
+        n_trees=3, max_depth=5, n_split_candidates=20, learning_rate=0.1
+    )
+    fractions = (0.1, 0.3, 0.6, 1.0)
+
+    def run():
+        rows = []
+        for fraction in fractions:
+            m = max(64, int(data.n_features * fraction))
+            subset = data.first_features(m)
+            xgb = train_distributed("xgboost", subset, cluster, config)
+            dim = train_distributed("dimboost", subset, cluster, config)
+            rows.append([m, xgb.sim_seconds, dim.sim_seconds,
+                         xgb.sim_seconds / dim.sim_seconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        "Figure 1: run time vs number of features",
+        ["# features", "xgboost seconds", "dimboost seconds", "speedup"],
+        rows,
+        notes="gender-like prefixes; simulated cluster time, 5 workers",
+    )
+    # Shape: DimBoost wins everywhere and the gap widens with dimension.
+    speedups = [row[3] for row in rows]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,97 @@
+"""Figure 12(a) — end-to-end comparison on the RCV1-like dataset.
+
+Five systems on the small cluster (5 workers): end-to-end run time,
+final test error, and the convergence series (train error vs simulated
+time).  Paper shape: MLlib slowest by far; DimBoost fastest; LightGBM
+between DimBoost and TencentBoost; XGBoost behind both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BACKEND_NAMES, ClusterConfig, TrainConfig, train_distributed
+from repro.boosting import error_rate
+from repro.datasets import rcv1_like, train_test_split
+
+from conftest import bench_scale
+
+
+def run_systems(data, cluster, config, systems):
+    """Train every system; returns {system: (result, test_error)}."""
+    train, test = train_test_split(data, test_fraction=0.1, seed=0)
+    out = {}
+    for system in systems:
+        kwargs = {}
+        result = train_distributed(system, train, cluster, config, **kwargs)
+        err = error_rate(test.y, result.model.predict(test.X))
+        out[system] = (result, err)
+    return out
+
+
+def summarize(report, title, outcomes, notes=""):
+    dim_time = outcomes["dimboost"][0].sim_seconds
+    rows = [
+        [
+            system,
+            result.sim_seconds,
+            result.sim_seconds / dim_time,
+            result.breakdown.computation,
+            result.breakdown.communication,
+            err,
+        ]
+        for system, (result, err) in outcomes.items()
+    ]
+    report.add_table(
+        title,
+        [
+            "system",
+            "sim seconds",
+            "vs dimboost",
+            "computation",
+            "communication",
+            "test error",
+        ],
+        rows,
+        notes=notes,
+    )
+    convergence = []
+    for system, (result, _err) in outcomes.items():
+        for record in result.rounds:
+            convergence.append(
+                [system, record.tree_index, record.sim_elapsed, record.train_error]
+            )
+    report.add_table(
+        title + " — convergence",
+        ["system", "tree", "sim elapsed", "train error"],
+        convergence,
+        notes="train error vs simulated time (the right-hand plots)",
+    )
+
+
+def test_fig12a_rcv1(benchmark, report):
+    scale = bench_scale()
+    data = rcv1_like(scale=0.25 * scale, seed=0)
+    cluster = ClusterConfig(n_workers=5, n_servers=5)
+    config = TrainConfig(
+        n_trees=8, max_depth=6, n_split_candidates=20, learning_rate=0.1
+    )
+
+    outcomes = benchmark.pedantic(
+        lambda: run_systems(data, cluster, config, BACKEND_NAMES),
+        rounds=1,
+        iterations=1,
+    )
+    summarize(
+        report,
+        "Figure 12(a): RCV1-like end-to-end (5 workers)",
+        outcomes,
+        notes=f"n={data.n_instances}, m={data.n_features}",
+    )
+    times = {s: r.sim_seconds for s, (r, _e) in outcomes.items()}
+    errors = {s: e for s, (_r, e) in outcomes.items()}
+    # Paper shape: DimBoost fastest; MLlib slowest; accuracy comparable.
+    assert times["dimboost"] == min(times.values())
+    assert times["mllib"] == max(times.values())
+    assert times["xgboost"] > times["lightgbm"]
+    assert max(errors.values()) - min(errors.values()) < 0.05

@@ -1,0 +1,45 @@
+"""Figure 12(b) — end-to-end comparison on the Synthesis-like dataset.
+
+Same protocol as Figure 12(a) but on the larger, higher-dimensional
+synthesis workload.  Paper shape: the DimBoost speedups widen versus
+RCV1 ("DimBoost is more powerful for larger datasets") — 9x over
+XGBoost, 3.1x over LightGBM, 5x over TencentBoost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BACKEND_NAMES, ClusterConfig, TrainConfig
+from repro.datasets import synthesis_like
+
+from bench_fig12a_rcv1 import run_systems, summarize
+from conftest import bench_scale
+
+
+def test_fig12b_synthesis(benchmark, report):
+    scale = bench_scale()
+    data = synthesis_like(scale=0.25 * scale, seed=0)
+    cluster = ClusterConfig(n_workers=5, n_servers=5)
+    config = TrainConfig(
+        n_trees=6, max_depth=6, n_split_candidates=20, learning_rate=0.1
+    )
+
+    outcomes = benchmark.pedantic(
+        lambda: run_systems(data, cluster, config, BACKEND_NAMES),
+        rounds=1,
+        iterations=1,
+    )
+    summarize(
+        report,
+        "Figure 12(b): Synthesis-like end-to-end (5 workers)",
+        outcomes,
+        notes=f"n={data.n_instances}, m={data.n_features}",
+    )
+    times = {s: r.sim_seconds for s, (r, _e) in outcomes.items()}
+    assert times["dimboost"] == min(times.values())
+    assert times["mllib"] == max(times.values())
+    # Wider speedup than on RCV1-like is asserted in EXPERIMENTS.md by
+    # comparing the two benches' JSON outputs; here we require at least
+    # the paper's qualitative gap over XGBoost.
+    assert times["xgboost"] / times["dimboost"] > 3.0

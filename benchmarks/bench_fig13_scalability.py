@@ -1,0 +1,72 @@
+"""Figure 13 (Appendix A.2) — scalability with the number of machines.
+
+Time decomposed into loading / computation / communication while the
+worker count grows.  Paper shapes: loading drops proportionally with
+machines, computation drops sublinearly, and communication "does not
+significantly increase" thanks to the PS architecture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.datasets import rcv1_like, synthesis_like
+
+from conftest import bench_scale
+
+
+def sweep(data, worker_counts, config):
+    rows = []
+    for w in worker_counts:
+        cluster = ClusterConfig(n_workers=w, n_servers=w)
+        result = train_distributed("dimboost", data, cluster, config)
+        b = result.breakdown
+        rows.append([w, b.loading, b.computation, b.communication, b.total])
+    return rows
+
+
+def test_fig13_rcv1_scalability(benchmark, report):
+    scale = bench_scale()
+    data = rcv1_like(scale=0.3 * scale, seed=0)
+    config = TrainConfig(
+        n_trees=5, max_depth=6, n_split_candidates=20, learning_rate=0.1
+    )
+
+    rows = benchmark.pedantic(
+        lambda: sweep(data, (1, 2, 5), config), rounds=1, iterations=1
+    )
+    report.add_table(
+        "Figure 13 (RCV1-like): time breakdown vs machines",
+        ["workers", "loading", "computation", "communication", "total"],
+        rows,
+        notes="single machine pays no communication for aggregation",
+    )
+    # Loading shrinks ~linearly with machines.
+    assert rows[0][1] > rows[1][1] > rows[2][1]
+    # Computation shrinks with machines (sublinearly is fine).
+    assert rows[0][2] > rows[2][2]
+    # Single machine has (near) zero aggregation communication.
+    assert rows[0][3] < rows[2][3]
+
+
+def test_fig13_synthesis_scalability(benchmark, report):
+    scale = bench_scale()
+    data = synthesis_like(scale=0.25 * scale, seed=0)
+    config = TrainConfig(
+        n_trees=4, max_depth=6, n_split_candidates=20, learning_rate=0.1
+    )
+
+    rows = benchmark.pedantic(
+        lambda: sweep(data, (2, 5, 10), config), rounds=1, iterations=1
+    )
+    report.add_table(
+        "Figure 13 (Synthesis-like): time breakdown vs machines",
+        ["workers", "loading", "computation", "communication", "total"],
+        rows,
+        notes="PS keeps communication near-flat while compute drops",
+    )
+    assert rows[0][1] > rows[-1][1]  # loading drops
+    assert rows[0][2] > rows[-1][2]  # computation drops
+    # Communication must not blow up with more machines (PS merit):
+    assert rows[-1][3] < rows[0][3] * 3.0

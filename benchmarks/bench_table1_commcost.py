@@ -1,0 +1,124 @@
+"""Table 1 / Figure 3 — communication cost of the aggregation operators.
+
+Regenerates the paper's Table 1 twice over:
+
+* the *analytic* closed forms evaluated at the paper's two cluster sizes
+  (5 and 50 workers) with a Gender-sized histogram, and
+* the *simulated* operators — real data movement through the binomial
+  tree / recursive halving / all-to-one / PS topologies — whose step
+  counts and charged times must match the closed forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import tabulate_costs
+from repro.cluster import (
+    CostParams,
+    allreduce_binomial,
+    ps_aggregate,
+    reduce_scatter_halving,
+    reduce_to_coordinator,
+)
+from repro.cluster.costmodel import SYSTEM_NAMES, comm_steps
+
+from conftest import bench_scale
+
+COST = CostParams(alpha=1e-4, beta=8e-9, gamma=1e-9)
+
+#: Gender histogram: 2 * K * M floats of 4 bytes, K=20, M=330K.
+GENDER_HIST_BYTES = 2 * 20 * 330_000 * 4
+
+_COLLECTIVES = {
+    "mllib": reduce_to_coordinator,
+    "xgboost": allreduce_binomial,
+    "lightgbm": reduce_scatter_halving,
+    "dimboost": ps_aggregate,
+}
+
+
+def test_table1_analytic(benchmark, report):
+    """The closed forms at w = 5 (Cluster-1) and w = 50 (Cluster-2)."""
+
+    def run():
+        return tabulate_costs([5, 50], [float(GENDER_HIST_BYTES)], COST)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for i, w in enumerate(table.workers):
+        for system in SYSTEM_NAMES:
+            rows.append(
+                [
+                    system,
+                    w,
+                    comm_steps(system, w),
+                    table.times[system][i, 0],
+                    table.times[system][i, 0] / table.times["dimboost"][i, 0],
+                ]
+            )
+    report.add_table(
+        "Table 1 (analytic): aggregation cost model",
+        ["system", "workers", "comm steps", "modelled seconds", "vs dimboost"],
+        rows,
+        notes="h = 2*K*M*4 bytes with K=20, M=330K (the Gender histogram)",
+    )
+    # Shape assertions: DimBoost fastest at scale; MLlib worst.
+    times_50 = {s: table.times[s][1, 0] for s in SYSTEM_NAMES}
+    assert times_50["dimboost"] == min(times_50.values())
+    assert times_50["mllib"] == max(times_50.values())
+
+
+@pytest.mark.parametrize("w", [5, 8, 50])
+def test_simulated_operators_match_model(benchmark, report, w):
+    """Run the real operators and check their accounting vs Table 1."""
+    n_values = max(1024, int(65_536 * bench_scale()))
+    rng = np.random.default_rng(0)
+    contribs = [rng.normal(size=n_values) for _ in range(w)]
+    expected_sum = np.sum(contribs, axis=0)
+
+    def run():
+        rows = []
+        for system, collective in _COLLECTIVES.items():
+            result, stats = collective([c.copy() for c in contribs], COST)
+            # Verify the operator actually computed the sum.
+            if system in ("mllib", "xgboost"):
+                np.testing.assert_allclose(result, expected_sum, atol=1e-8)
+            elif system == "lightgbm":
+                for i, seg in stats.segments.items():
+                    np.testing.assert_allclose(
+                        result[i], expected_sum[seg[0] : seg[1]], atol=1e-8
+                    )
+            else:
+                np.testing.assert_allclose(
+                    np.concatenate(result), expected_sum, atol=1e-8
+                )
+            rows.append(
+                [system, w, stats.steps, stats.total_bytes, stats.sim_seconds]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        f"Figure 3 (simulated, w={w}): real operators",
+        ["system", "workers", "steps", "bytes moved", "sim seconds"],
+        rows,
+        notes=f"payload {n_values} float32 values; topology-faithful execution",
+    )
+
+
+def test_benchmark_ps_aggregate(benchmark):
+    """Real merge throughput of the PS operator."""
+    rng = np.random.default_rng(1)
+    n_values = max(4096, int(262_144 * bench_scale()))
+    contribs = [rng.normal(size=n_values) for _ in range(8)]
+    benchmark(lambda: ps_aggregate(contribs, COST))
+
+
+def test_benchmark_allreduce_binomial(benchmark):
+    """Real merge throughput of the binomial-tree operator."""
+    rng = np.random.default_rng(2)
+    n_values = max(4096, int(262_144 * bench_scale()))
+    contribs = [rng.normal(size=n_values) for _ in range(8)]
+    benchmark(lambda: allreduce_binomial(contribs, COST))

@@ -1,0 +1,207 @@
+"""Table 3 — effects of the six proposed optimizations.
+
+Follows the paper's consolidation order on a gender-like dataset:
+
+* build the **root node** histogram: traditional dense scan -> sparsity-
+  aware (Algorithm 2) -> parallel batch construction (simulated span on
+  q threads);
+* build the **last layer**: without the node-to-instance index (full
+  scan per node) -> with the index;
+* build a **tree** end-to-end on the simulated cluster: baseline PS ->
+  + task scheduler -> + two-phase split -> + low-precision histograms.
+
+Absolute numbers are Python-scale; what must match the paper is the
+*direction and rough magnitude* of each step's improvement.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.boosting.losses import get_loss
+from repro.datasets import gender_like
+from repro.histogram import (
+    BinnedShard,
+    build_histogram_batched,
+    build_node_histogram_dense,
+    build_node_histogram_sparse,
+)
+from repro.sketch import propose_candidates
+from repro.tree import LayerwiseGrower
+
+from conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scale = bench_scale()
+    data = gender_like(scale=0.12 * scale, seed=1)
+    config = TrainConfig(
+        n_trees=2,
+        max_depth=6,
+        n_split_candidates=20,
+        learning_rate=0.1,
+        batch_size=500,
+        n_threads=20,
+    )
+    candidates = propose_candidates(data.X, config.n_split_candidates)
+    shard = BinnedShard(data.X, candidates)
+    loss = get_loss("logistic")
+    base = loss.base_score(data.y)
+    grad, hess = loss.gradients(data.y, np.full(data.n_instances, base))
+    return data, config, candidates, shard, grad, hess
+
+
+def test_root_node_construction(benchmark, setup, report):
+    """Rows 1-3 of Table 3: dense -> sparse -> parallel batch."""
+    data, config, candidates, shard, grad, hess = setup
+    rows_all = np.arange(shard.n_rows)
+
+    def run():
+        t0 = time.perf_counter()
+        dense = build_node_histogram_dense(shard, rows_all, grad, hess)
+        dense_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sparse = build_node_histogram_sparse(shard, rows_all, grad, hess)
+        sparse_t = time.perf_counter() - t0
+        batched = build_histogram_batched(
+            shard,
+            rows_all,
+            grad,
+            hess,
+            batch_size=config.batch_size,
+            n_threads=config.n_threads,
+        )
+        assert dense.allclose(sparse, atol=1e-6)
+        assert batched.histogram.allclose(sparse, atol=1e-6)
+        return dense_t, sparse_t, batched.span_seconds
+
+    dense_t, sparse_t, span_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        "Table 3 (rows 1-3): build the root node",
+        ["configuration", "seconds", "speedup vs previous"],
+        [
+            ["traditional dense scan", dense_t, 1.0],
+            ["+ sparsity-aware (Alg. 2)", sparse_t, dense_t / sparse_t],
+            ["+ parallel batch (span, q=20)", span_t, sparse_t / span_t],
+        ],
+        notes=(
+            f"gender-like {shard.n_rows} x {shard.n_features}, "
+            f"avg nnz {shard.nnz / shard.n_rows:.0f}"
+        ),
+    )
+    assert sparse_t < dense_t
+    assert span_t < sparse_t
+
+
+def test_last_layer_index(benchmark, setup, report):
+    """Rows 4-5 of Table 3: node-to-instance index on the last layer.
+
+    The index's saving is the O(N)-per-node rediscovery scan, which in
+    numpy is cheap relative to the histogram builds both paths share —
+    so the measurement uses a deep last layer (many nodes, many scans)
+    and takes the best of three repetitions to beat timer noise.
+    """
+    data, config, candidates, shard, grad, hess = setup
+    # A deeper tree than the shared fixture: more last-layer nodes means
+    # more per-node scans for the no-index path to pay for.
+    deep_config = config.with_overrides(max_depth=8)
+    grower = LayerwiseGrower(shard, candidates, deep_config)
+    grown = grower.grow(grad, hess)
+    leaves = [
+        node
+        for node in range(grown.tree.max_nodes)
+        if grown.tree.is_leaf(node)
+        and grown.tree.depth_of(node) >= deep_config.max_depth - 1
+    ]
+    leaf_of_rows = grown.leaf_of_rows
+
+    def measure_scan() -> float:
+        t0 = time.perf_counter()
+        for node in leaves:
+            rows = np.nonzero(leaf_of_rows == node)[0]
+            build_node_histogram_sparse(shard, rows, grad, hess)
+        return time.perf_counter() - t0
+
+    order = np.argsort(leaf_of_rows, kind="stable")
+    sorted_leaves = leaf_of_rows[order]
+
+    def measure_index() -> float:
+        t0 = time.perf_counter()
+        boundaries = np.searchsorted(
+            sorted_leaves, leaves + [grown.tree.max_nodes]
+        )
+        for i, _node in enumerate(leaves):
+            rows = order[boundaries[i] : boundaries[i + 1]]
+            build_node_histogram_sparse(shard, rows, grad, hess)
+        return time.perf_counter() - t0
+
+    def run():
+        scan_t = min(measure_scan() for _ in range(5))
+        index_t = min(measure_index() for _ in range(5))
+        return scan_t, index_t
+
+    scan_t, index_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.add_table(
+        "Table 3 (rows 4-5): build the last layer",
+        ["configuration", "seconds", "speedup"],
+        [
+            ["without node-to-instance index", scan_t, 1.0],
+            ["with node-to-instance index", index_t, scan_t / index_t],
+        ],
+        notes=f"{len(leaves)} deep nodes at depth >= {deep_config.max_depth - 1}",
+    )
+    assert index_t < scan_t
+
+
+def test_tree_time_find_split_optimizations(benchmark, setup, report):
+    """Rows 6-9 of Table 3: scheduler, two-phase split, low-precision."""
+    data, config, *_ = setup
+    cluster = ClusterConfig(n_workers=8, n_servers=8)
+    variants = [
+        (
+            "baseline PS (no scheduler, full pulls)",
+            dict(use_scheduler=False, two_phase=False, compression_bits=0),
+        ),
+        (
+            "+ task scheduler",
+            dict(use_scheduler=True, two_phase=False, compression_bits=0),
+        ),
+        (
+            "+ two-phase split",
+            dict(use_scheduler=True, two_phase=True, compression_bits=0),
+        ),
+        (
+            "+ low-precision (8-bit)",
+            dict(use_scheduler=True, two_phase=True, compression_bits=8),
+        ),
+    ]
+
+    def run():
+        rows = []
+        for label, kwargs in variants:
+            result = train_distributed("dimboost", data, cluster, config, **kwargs)
+            per_tree = result.sim_seconds / config.n_trees
+            rows.append([label, per_tree])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = rows[0][1]
+    for row in rows:
+        row.append(baseline / row[1])
+    report.add_table(
+        "Table 3 (rows 6-9): time to build a tree",
+        ["configuration", "seconds per tree", "speedup vs baseline"],
+        rows,
+        notes="simulated cluster, 8 workers / 8 servers",
+    )
+    times = [row[1] for row in rows]
+    # Each consolidation must not slow training down, and the full stack
+    # must be strictly faster than the baseline.
+    assert times[-1] < times[0]
+    assert times[2] < times[1] * 1.02  # two-phase helps
+    assert times[3] < times[2] * 1.02  # compression helps

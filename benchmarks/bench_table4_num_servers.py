@@ -1,0 +1,56 @@
+"""Table 4 — impact of the number of parameter servers.
+
+The paper varies p in {5, 20, 50} on the Gender dataset (w = 50) and
+sees end-to-end time drop from 38 to 17 minutes as servers are added.
+We sweep p with a fixed worker count on a gender-like dataset; the shape
+to reproduce is *monotonically decreasing time with more servers*, with
+diminishing returns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.datasets import gender_like
+
+from conftest import bench_scale
+
+
+def test_table4_parameter_servers(benchmark, report):
+    scale = bench_scale()
+    data = gender_like(scale=0.2 * scale, seed=0)
+    config = TrainConfig(
+        n_trees=4, max_depth=6, n_split_candidates=20, learning_rate=0.1
+    )
+    server_counts = (2, 5, 10)
+    n_workers = 10
+
+    def run():
+        rows = []
+        for p in server_counts:
+            cluster = ClusterConfig(n_workers=n_workers, n_servers=p)
+            result = train_distributed("dimboost", data, cluster, config)
+            rows.append(
+                [
+                    p,
+                    result.sim_seconds,
+                    result.breakdown.communication,
+                    result.breakdown.computation,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    slowest = rows[0][1]
+    for row in rows:
+        row.append(slowest / row[1])
+    report.add_table(
+        "Table 4: impact of the number of parameter servers",
+        ["# servers", "sim seconds", "communication", "computation", "speedup vs p=2"],
+        rows,
+        notes=f"{n_workers} workers, gender-like n={data.n_instances} m={data.n_features}",
+    )
+    times = [row[1] for row in rows]
+    # Paper shape: more servers -> faster (2.2x from 5 to 50 servers).
+    assert times[0] > times[1] > times[2]

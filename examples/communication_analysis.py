@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Communication analysis: reproduce the Section 3 / Table 1 study.
+
+Evaluates the alpha-beta-gamma cost model of the four aggregation
+operators over worker counts and histogram sizes, locates the
+crossovers the paper's Remarks discuss, and cross-checks the closed
+forms against the *real* operator implementations (actual binomial
+trees, recursive halving, PS scatter).
+
+Run:
+    python examples/communication_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import speedup_table, tabulate_costs
+from repro.cluster import (
+    CostParams,
+    allreduce_binomial,
+    crossover_workers,
+    ps_aggregate,
+    reduce_scatter_halving,
+    reduce_to_coordinator,
+)
+from repro.cluster.costmodel import SYSTEM_NAMES
+
+COST = CostParams(alpha=1e-4, beta=8e-9, gamma=1e-9)
+GENDER_HIST = 2 * 20 * 330_000 * 4  # 2 * K * M float32 bytes
+
+
+def analytic_study() -> None:
+    print("Table 1 cost model, Gender-sized histogram "
+          f"({GENDER_HIST / 1e6:.1f} MB):\n")
+    workers = [2, 4, 5, 8, 16, 32, 50, 64]
+    table = tabulate_costs(workers, [float(GENDER_HIST)], COST)
+    print(f"{'workers':>8s} " + " ".join(f"{s:>10s}" for s in SYSTEM_NAMES)
+          + f" {'winner':>10s}")
+    for i, w in enumerate(workers):
+        cells = " ".join(
+            f"{table.times[s][i, 0]:10.4f}" for s in SYSTEM_NAMES
+        )
+        print(f"{w:8d} {cells} {table.winner(i, 0):>10s}")
+
+    print("\nspeedup of dimboost over each system at w = 50:")
+    speedups = speedup_table(table)
+    idx = workers.index(50)
+    for system in SYSTEM_NAMES[:-1]:
+        print(f"  vs {system:10s}: {speedups[system][idx, 0]:.2f}x")
+
+    print("\ncrossover worker counts (first w where dimboost wins):")
+    for system in SYSTEM_NAMES[:-1]:
+        w = crossover_workers(system, "dimboost", float(GENDER_HIST), COST)
+        print(f"  vs {system:10s}: w >= {w}")
+
+
+def simulated_study() -> None:
+    print("\nReal operators on a 1M-value payload (8 workers):")
+    rng = np.random.default_rng(0)
+    contribs = [rng.normal(size=1_000_000) for _ in range(8)]
+    expected = np.sum(contribs, axis=0)
+
+    result, stats = reduce_to_coordinator(contribs, COST)
+    assert np.allclose(result, expected)
+    print(f"  mllib    reduce:        {stats.steps} step,  "
+          f"{stats.total_bytes / 1e6:6.1f} MB moved, {stats.sim_seconds:.4f} s")
+
+    result, stats = allreduce_binomial(contribs, COST)
+    assert np.allclose(result, expected)
+    print(f"  xgboost  allreduce:     {stats.steps} steps, "
+          f"{stats.total_bytes / 1e6:6.1f} MB moved, {stats.sim_seconds:.4f} s")
+
+    owned, stats = reduce_scatter_halving(contribs, COST)
+    for i, seg in stats.segments.items():
+        assert np.allclose(owned[i], expected[seg[0] : seg[1]])
+    print(f"  lightgbm reducescatter: {stats.steps} steps, "
+          f"{stats.total_bytes / 1e6:6.1f} MB moved, {stats.sim_seconds:.4f} s")
+
+    slices, stats = ps_aggregate(contribs, COST)
+    assert np.allclose(np.concatenate(slices), expected)
+    print(f"  dimboost ps aggregate:  {stats.steps} step,  "
+          f"{stats.total_bytes / 1e6:6.1f} MB moved, {stats.sim_seconds:.4f} s")
+
+
+def main() -> None:
+    analytic_study()
+    simulated_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""High-dimensional sparsity: the Figure 1 / Section 5 story.
+
+Shows, on one machine, why dimensionality hurts the traditional
+histogram build and how the sparsity-aware Algorithm 2 removes the
+dependence on total feature count — then sweeps feature prefixes like
+Figure 1 to show the widening end-to-end gap between a dense-build
+system (XGBoost-style) and DimBoost.
+
+Run:
+    python examples/high_dimensional_sparse.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ClusterConfig, TrainConfig, train_distributed
+from repro.boosting.losses import get_loss
+from repro.datasets import gender_like
+from repro.histogram import (
+    BinnedShard,
+    build_node_histogram_dense,
+    build_node_histogram_sparse,
+)
+from repro.sketch import propose_candidates
+
+
+def builder_scaling() -> None:
+    print("histogram build time vs dimensionality (one node, all rows):\n")
+    print(f"{'features':>9s} {'dense (s)':>10s} {'sparse (s)':>11s} {'speedup':>8s}")
+    base = gender_like(scale=0.2, seed=0)
+    loss = get_loss("logistic")
+    raw = np.full(base.n_instances, loss.base_score(base.y))
+    grad, hess = loss.gradients(base.y, raw)
+    for fraction in (0.1, 0.3, 1.0):
+        data = base.first_features(max(64, int(base.n_features * fraction)))
+        candidates = propose_candidates(data.X, 20)
+        shard = BinnedShard(data.X, candidates)
+        rows = np.arange(shard.n_rows)
+        t0 = time.perf_counter()
+        dense = build_node_histogram_dense(shard, rows, grad, hess)
+        dense_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sparse = build_node_histogram_sparse(shard, rows, grad, hess)
+        sparse_t = time.perf_counter() - t0
+        assert dense.allclose(sparse, atol=1e-6)
+        print(
+            f"{data.n_features:9d} {dense_t:10.4f} {sparse_t:11.4f} "
+            f"{dense_t / sparse_t:7.1f}x"
+        )
+    print(
+        "\nthe dense scan is O(M*N); Algorithm 2 is O(z*N + M) — the gap"
+        "\ngrows linearly with dimensionality (paper: 1584x at 330K features)."
+    )
+
+
+def figure1_sweep() -> None:
+    print("\nend-to-end time vs dimensionality (Figure 1, 5 workers):\n")
+    print(f"{'features':>9s} {'xgboost (s)':>12s} {'dimboost (s)':>13s} {'speedup':>8s}")
+    base = gender_like(scale=0.12, seed=0)
+    cluster = ClusterConfig(n_workers=5, n_servers=5)
+    config = TrainConfig(
+        n_trees=3, max_depth=5, n_split_candidates=20, learning_rate=0.2
+    )
+    for fraction in (0.1, 0.4, 1.0):
+        data = base.first_features(max(64, int(base.n_features * fraction)))
+        xgb = train_distributed("xgboost", data, cluster, config)
+        dim = train_distributed("dimboost", data, cluster, config)
+        print(
+            f"{data.n_features:9d} {xgb.sim_seconds:12.3f} "
+            f"{dim.sim_seconds:13.3f} {xgb.sim_seconds / dim.sim_seconds:7.1f}x"
+        )
+
+
+def main() -> None:
+    builder_scaling()
+    figure1_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Analysis utilities: communication-cost curves and PCA.
+
+* :mod:`commcost` — tabulates the Table 1 closed forms over worker/size
+  sweeps and locates crossovers (the Section 3 "Remarks" discussion).
+* :mod:`pca` — randomized PCA over :class:`CSRMatrix`, the dimension-
+  reduction baseline of Table 6.
+"""
+
+from .commcost import CostTable, tabulate_costs, speedup_table
+from .pca import PCAModel, fit_pca
+
+__all__ = ["CostTable", "tabulate_costs", "speedup_table", "PCAModel", "fit_pca"]

@@ -1,0 +1,105 @@
+"""Randomized PCA over sparse matrices (the Table 6 baseline).
+
+Section 7.3.5 reduces the Gender dataset to 10K dimensions with Spark
+MLlib's PCA before training, and finds the end-to-end time *increases*
+while accuracy drops.  This module reproduces that experiment's
+transformation: a randomized-SVD principal component analysis operating
+directly on :class:`CSRMatrix` through its matvec/rmatvec (no
+densification of the input), following Halko, Martinsson & Tropp (2011).
+
+Centering note: explicitly centering a sparse matrix would densify it;
+like Spark's PCA pipeline at this scale, we work with the Gram structure
+of the raw (uncentered) data — the standard practice for sparse inputs,
+and the component directions are near-identical for data whose column
+means are close to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..datasets.sparse import CSRMatrix
+from ..errors import DataError
+from ..utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class PCAModel:
+    """Fitted principal components.
+
+    Attributes:
+        components: (n_features, k) orthonormal basis.
+        singular_values: Leading singular values, descending.
+    """
+
+    components: np.ndarray
+    singular_values: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of retained components."""
+        return self.components.shape[1]
+
+    def transform(self, X: CSRMatrix) -> np.ndarray:
+        """Project instances onto the components: (n_rows, k) dense."""
+        if X.n_cols != self.components.shape[0]:
+            raise DataError(
+                f"matrix has {X.n_cols} features, model expects "
+                f"{self.components.shape[0]}"
+            )
+        return X.matvec(self.components)
+
+    def transform_dataset(self, dataset: Dataset) -> Dataset:
+        """Project a dataset, returning dense-as-sparse reduced features."""
+        projected = self.transform(dataset.X).astype(np.float32)
+        return Dataset(
+            CSRMatrix.from_dense(projected),
+            dataset.y,
+            f"{dataset.name}-pca{self.k}",
+        )
+
+
+def fit_pca(
+    X: CSRMatrix,
+    k: int,
+    n_oversamples: int = 10,
+    n_power_iterations: int = 2,
+    seed: int = 0,
+) -> PCAModel:
+    """Fit a rank-``k`` randomized PCA.
+
+    Args:
+        X: Input matrix (not densified).
+        k: Components to retain; must satisfy ``1 <= k <= min(shape)``.
+        n_oversamples: Extra random directions for the sketch.
+        n_power_iterations: Subspace iterations sharpening the spectrum.
+        seed: RNG seed for the random test matrix.
+
+    Returns:
+        The fitted :class:`PCAModel`.
+    """
+    if not 1 <= k <= min(X.n_rows, X.n_cols):
+        raise DataError(
+            f"k must be in [1, {min(X.n_rows, X.n_cols)}], got {k}"
+        )
+    rng = spawn_rng(seed, "pca", X.n_rows, X.n_cols, k)
+    sketch_width = min(X.n_cols, k + n_oversamples)
+    omega = rng.normal(size=(X.n_cols, sketch_width))
+
+    # Range finder with power iterations: Y = (A A^T)^q A Omega.
+    Y = X.matvec(omega)
+    for _ in range(n_power_iterations):
+        Q, _ = np.linalg.qr(Y)
+        Y = X.matvec(X.rmatvec(Q))
+    Q, _ = np.linalg.qr(Y)
+
+    # Project and take the small SVD: A ~ Q (Q^T A).
+    B = X.rmatvec(Q).T  # (sketch_width, n_cols)
+    _, singular_values, Vt = np.linalg.svd(B, full_matrices=False)
+    return PCAModel(
+        components=np.ascontiguousarray(Vt[:k].T),
+        singular_values=singular_values[:k].copy(),
+    )

@@ -1,0 +1,183 @@
+"""Render benchmark results into a Markdown report.
+
+The bench suite writes one JSON file per reproduced table/figure under
+``benchmarks/results/``.  This module loads them and renders a single
+Markdown document with aligned tables and ASCII bar charts — a
+dependency-free replacement for the plots the paper's figures would
+need, suitable for committing next to EXPERIMENTS.md.
+
+Usage::
+
+    from repro.analysis.report import render_report
+    markdown = render_report("benchmarks/results")
+
+or from the shell::
+
+    python -m repro.analysis.report benchmarks/results > report.md
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import DataError
+
+#: Width of the ASCII bar chart area in characters.
+BAR_WIDTH = 40
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """One reproduced exhibit, as the bench harness saved it."""
+
+    title: str
+    header: list[str]
+    rows: list[list[object]]
+    notes: str
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike[str]) -> "ResultTable":
+        """Load one ``benchmarks/results`` JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for key in ("title", "header", "rows"):
+            if key not in payload:
+                raise DataError(f"{path}: missing key {key!r}")
+        return cls(
+            title=str(payload["title"]),
+            header=list(payload["header"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=str(payload.get("notes", "")),
+        )
+
+    def numeric_column(self, name: str) -> list[float] | None:
+        """Values of a column if every entry is numeric, else None."""
+        if name not in self.header:
+            return None
+        idx = self.header.index(name)
+        values = []
+        for row in self.rows:
+            value = row[idx]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return None
+            values.append(float(value))
+        return values
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly cell rendering (compact floats)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def markdown_table(table: ResultTable) -> str:
+    """One exhibit as a Markdown pipe table."""
+    lines = ["| " + " | ".join(table.header) + " |"]
+    lines.append("|" + "|".join("---" for _ in table.header) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(format_cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: list[str], values: list[float]) -> str:
+    """A horizontal ASCII bar chart, one bar per label."""
+    if len(labels) != len(values):
+        raise DataError("labels and values must have equal length")
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * BAR_WIDTH)) if value > 0 else ""
+        lines.append(f"{label.ljust(width)} |{bar} {format_cell(value)}")
+    return "\n".join(lines)
+
+
+def chart_for(table: ResultTable) -> str | None:
+    """Pick a sensible bar chart for an exhibit, if one exists.
+
+    Charts the first numeric column whose header mentions seconds/time
+    against the first column (the category labels); skips convergence
+    series (they are long and better read from the JSON).
+    """
+    if "convergence" in table.title.lower() or "—" in table.title:
+        return None
+    labels = [format_cell(row[0]) for row in table.rows]
+    if len(labels) > 12:
+        return None
+    for name in table.header[1:]:
+        lowered = name.lower()
+        if "second" in lowered or "time" in lowered:
+            values = table.numeric_column(name)
+            if values is not None:
+                return ascii_bars(labels, values)
+    return None
+
+
+def load_results(results_dir: str | os.PathLike[str]) -> list[ResultTable]:
+    """All result tables in a directory, sorted by title."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise DataError(f"{directory} is not a directory")
+    tables = [
+        ResultTable.from_file(path) for path in sorted(directory.glob("*.json"))
+    ]
+    return sorted(tables, key=lambda t: t.title)
+
+
+def render_report(results_dir: str | os.PathLike[str]) -> str:
+    """The full Markdown report for a results directory."""
+    tables = load_results(results_dir)
+    if not tables:
+        raise DataError(f"no result JSONs found in {results_dir}")
+    parts = [
+        "# Reproduced tables and figures",
+        "",
+        f"Generated from {len(tables)} result files in `{results_dir}`.",
+        "",
+    ]
+    for table in tables:
+        parts.append(f"## {table.title}")
+        parts.append("")
+        parts.append(markdown_table(table))
+        if table.notes:
+            parts.append("")
+            parts.append(f"*{table.notes}*")
+        chart = chart_for(table)
+        if chart:
+            parts.append("")
+            parts.append("```")
+            parts.append(chart)
+            parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: render a results directory to stdout."""
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = args[0] if args else "benchmarks/results"
+    try:
+        sys.stdout.write(render_report(results_dir))
+    except DataError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

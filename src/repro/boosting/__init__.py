@@ -1,0 +1,46 @@
+"""GBDT boosting layer: losses, metrics, the model, and the reference trainer.
+
+The additive training scheme of Section 2.2: each round fits one
+regression tree to the first/second-order gradients of the loss at the
+current predictions, shrinks its leaf weights by the learning rate, and
+adds it to the ensemble.
+"""
+
+from .losses import LogisticLoss, SquaredLoss, get_loss
+from .metrics import accuracy, auc, error_rate, logloss, rmse
+from .model import GBDTModel
+from .gbdt import GBDT, BoostingRound
+from .importance import (
+    gain_importance,
+    recorded_gain_importance,
+    split_count_importance,
+    top_features,
+)
+from .multiclass import (
+    MulticlassGBDT,
+    MulticlassModel,
+    SoftmaxLoss,
+    softmax,
+)
+
+__all__ = [
+    "LogisticLoss",
+    "SquaredLoss",
+    "get_loss",
+    "accuracy",
+    "auc",
+    "error_rate",
+    "logloss",
+    "rmse",
+    "GBDTModel",
+    "GBDT",
+    "BoostingRound",
+    "gain_importance",
+    "recorded_gain_importance",
+    "split_count_importance",
+    "top_features",
+    "MulticlassGBDT",
+    "MulticlassModel",
+    "SoftmaxLoss",
+    "softmax",
+]

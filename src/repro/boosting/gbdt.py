@@ -1,0 +1,219 @@
+"""Single-machine GBDT trainer — the reference implementation.
+
+This is the w=1 ground truth the distributed trainers are tested
+against: with exact aggregation every system must grow the *same trees*
+as this trainer, because the merged histograms are identical.
+
+The training loop follows Section 2.2: start from the loss's base score,
+and per round compute gradients at the current predictions, sample
+features (Section 2.2's feature sampling), grow one layer-wise tree, and
+add its shrunk predictions to the running scores — using the free
+leaf-assignment from the node-to-instance index instead of re-running
+tree inference on the training set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainConfig
+from ..datasets.dataset import Dataset
+from ..errors import TrainingError
+from ..histogram.binned import BinnedShard
+from ..sketch.candidates import CandidateSet, propose_candidates
+from ..tree.grower import LayerwiseGrower
+from ..utils.rng import spawn_rng
+from .losses import get_loss
+from .metrics import error_rate
+from .model import GBDTModel
+
+
+@dataclass
+class BoostingRound:
+    """Per-round telemetry recorded during training.
+
+    Attributes:
+        tree_index: 0-based boosting round.
+        train_loss: Loss over the training set after this round.
+        train_error: Classification error (logistic) or MSE (squared).
+        seconds: Wall-clock time the round took.
+        elapsed_seconds: Cumulative wall-clock since fit() started —
+            the x-axis of the paper's convergence plots (Figure 12).
+        n_histograms: Histograms built this round.
+        eval_loss: Loss over the eval set, when one was provided.
+        eval_error: Error over the eval set, when one was provided.
+    """
+
+    tree_index: int
+    train_loss: float
+    train_error: float
+    seconds: float
+    elapsed_seconds: float
+    n_histograms: int
+    eval_loss: float | None = None
+    eval_error: float | None = None
+
+
+def sample_features(
+    n_features: int, ratio: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-tree feature sampling mask (Section 2.2).
+
+    Returns a boolean mask with ``ceil(ratio * n_features)`` features
+    enabled; with ratio 1.0 the mask is all-True (no sampling).
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise TrainingError(f"feature sample ratio must be in (0, 1], got {ratio}")
+    if ratio >= 1.0:
+        return np.ones(n_features, dtype=bool)
+    n_sampled = max(1, int(np.ceil(ratio * n_features)))
+    mask = np.zeros(n_features, dtype=bool)
+    mask[rng.choice(n_features, size=n_sampled, replace=False)] = True
+    return mask
+
+
+@dataclass
+class GBDT:
+    """Single-machine GBDT trainer.
+
+    Usage::
+
+        trainer = GBDT(TrainConfig(n_trees=20, max_depth=7))
+        model = trainer.fit(train_dataset)
+        proba = model.predict(test_dataset.X)
+
+    Attributes:
+        config: Hyper-parameters.
+        sparse_build: Histogram builder choice (Algorithm 2 vs dense).
+        use_index: Node-to-instance index on/off (ablation hook).
+        subtraction: Derive sibling histograms as parent minus child
+            (extension; halves per-layer build work).
+        history: Per-round telemetry, populated by :meth:`fit`.
+    """
+
+    config: TrainConfig = field(default_factory=TrainConfig)
+    sparse_build: bool = True
+    use_index: bool = True
+    subtraction: bool = False
+    leaf_wise: bool = False
+    max_leaves: int | None = None
+    history: list[BoostingRound] = field(default_factory=list)
+
+    def fit(
+        self,
+        train: Dataset,
+        candidates: CandidateSet | None = None,
+        eval_set: Dataset | None = None,
+        early_stopping_rounds: int | None = None,
+    ) -> GBDTModel:
+        """Train on ``train`` and return the model.
+
+        Args:
+            train: Training dataset.
+            candidates: Precomputed split candidates; proposed from exact
+                per-feature quantiles when omitted.
+            eval_set: Optional held-out dataset evaluated after every
+                round (recorded in :attr:`history`).
+            early_stopping_rounds: Stop when the eval loss has not
+                improved for this many consecutive rounds, and truncate
+                the model to its best round.  Requires ``eval_set``.
+        """
+        config = self.config
+        if early_stopping_rounds is not None:
+            if eval_set is None:
+                raise TrainingError("early stopping requires an eval_set")
+            if early_stopping_rounds < 1:
+                raise TrainingError(
+                    f"early_stopping_rounds must be >= 1, got "
+                    f"{early_stopping_rounds}"
+                )
+        loss = get_loss(config.loss)
+        start = time.perf_counter()
+        if candidates is None:
+            candidates = propose_candidates(train.X, config.n_split_candidates)
+        shard = BinnedShard(train.X, candidates)
+        if self.leaf_wise:
+            from ..tree.bestfirst import BestFirstGrower
+
+            grower: LayerwiseGrower | BestFirstGrower = BestFirstGrower(
+                shard, candidates, config, max_leaves=self.max_leaves
+            )
+        else:
+            grower = LayerwiseGrower(
+                shard,
+                candidates,
+                config,
+                sparse_build=self.sparse_build,
+                use_index=self.use_index,
+                subtraction=self.subtraction,
+            )
+
+        base = loss.base_score(train.y, train.weights)
+        raw = np.full(train.n_instances, base, dtype=np.float64)
+        eval_raw = (
+            np.full(eval_set.n_instances, base, dtype=np.float64)
+            if eval_set is not None
+            else None
+        )
+        trees = []
+        self.history = []
+        best_eval = np.inf
+        best_round = -1
+
+        for t in range(config.n_trees):
+            round_start = time.perf_counter()
+            grad, hess = loss.gradients(train.y, raw, train.weights)
+            mask = sample_features(
+                train.n_features,
+                config.feature_sample_ratio,
+                spawn_rng(config.seed, "feature_sampling", t),
+            )
+            grown = grower.grow(grad, hess, feature_valid=mask)
+            trees.append(grown.tree)
+            # Training predictions come free from the leaf assignment.
+            raw += grown.tree.weight[grown.leaf_of_rows]
+            eval_loss = eval_error = None
+            if eval_set is not None and eval_raw is not None:
+                eval_raw += grown.tree.predict(eval_set.X)
+                eval_loss = loss.loss(eval_set.y, eval_raw)
+                eval_error = self._error(loss, eval_set.y, eval_raw)
+                if eval_loss < best_eval - 1e-12:
+                    best_eval = eval_loss
+                    best_round = t
+            now = time.perf_counter()
+            self.history.append(
+                BoostingRound(
+                    tree_index=t,
+                    train_loss=loss.loss(train.y, raw, train.weights),
+                    train_error=self._error(loss, train.y, raw),
+                    seconds=now - round_start,
+                    elapsed_seconds=now - start,
+                    n_histograms=grown.n_histograms,
+                    eval_loss=eval_loss,
+                    eval_error=eval_error,
+                )
+            )
+            if (
+                early_stopping_rounds is not None
+                and t - best_round >= early_stopping_rounds
+            ):
+                break
+
+        if early_stopping_rounds is not None and best_round >= 0:
+            trees = trees[: best_round + 1]
+
+        return GBDTModel(
+            trees=trees,
+            base_score=base,
+            loss_name=config.loss,
+            n_features=train.n_features,
+        )
+
+    @staticmethod
+    def _error(loss, y: np.ndarray, raw: np.ndarray) -> float:
+        if loss.name == "logistic":
+            return error_rate(y, loss.transform(raw))
+        return loss.loss(y, raw)

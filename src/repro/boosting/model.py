@@ -1,0 +1,125 @@
+"""The trained GBDT model: prediction and (de)serialization.
+
+Equation (1): ``yhat_i = sum_t eta * f_t(x_i)`` — the shrinkage ``eta``
+is already folded into each tree's leaf weights at training time, so
+prediction is the base score plus the plain sum of tree outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from ..datasets.sparse import CSRMatrix
+from ..errors import DataError, NotFittedError
+from .losses import get_loss
+from ..tree.tree import RegressionTree
+
+
+class GBDTModel:
+    """An ensemble of regression trees plus prediction metadata.
+
+    Attributes:
+        trees: The fitted trees, in boosting order.
+        base_score: Constant added to every raw prediction.
+        loss_name: Which loss the model was trained with (decides the
+            output transform: sigmoid for logistic, identity for squared).
+        n_features: Dimensionality the model was trained on.
+    """
+
+    def __init__(
+        self,
+        trees: list[RegressionTree],
+        base_score: float,
+        loss_name: str,
+        n_features: int,
+    ) -> None:
+        self.trees = list(trees)
+        self.base_score = float(base_score)
+        self.loss_name = loss_name
+        self.n_features = int(n_features)
+        self._loss = get_loss(loss_name)
+
+    @property
+    def n_trees(self) -> int:
+        """Number of boosting rounds T."""
+        return len(self.trees)
+
+    def _check_fitted(self) -> None:
+        if not self.trees:
+            raise NotFittedError("model has no trees")
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def predict_raw(self, X: CSRMatrix, n_trees: int | None = None) -> np.ndarray:
+        """Raw margin scores, optionally truncated to the first trees."""
+        self._check_fitted()
+        if X.n_cols > self.n_features:
+            raise DataError(
+                f"input has {X.n_cols} features, model was trained on "
+                f"{self.n_features}"
+            )
+        use = self.trees if n_trees is None else self.trees[:n_trees]
+        raw = np.full(X.n_rows, self.base_score, dtype=np.float64)
+        for tree in use:
+            raw += tree.predict(X)
+        return raw
+
+    def predict(self, X: CSRMatrix) -> np.ndarray:
+        """Transformed predictions: probabilities (logistic) or values."""
+        return self._loss.transform(self.predict_raw(X))
+
+    def predict_labels(self, X: CSRMatrix, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 labels for classification models."""
+        if self.loss_name != "logistic":
+            raise DataError("predict_labels requires a logistic-loss model")
+        return (self.predict(X) >= threshold).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready structure (the FINISH phase's model output)."""
+        return {
+            "format": "repro-dimboost-gbdt",
+            "version": 1,
+            "base_score": self.base_score,
+            "loss": self.loss_name,
+            "n_features": self.n_features,
+            "trees": [tree.to_dict() for tree in self.trees],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "GBDTModel":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("format") != "repro-dimboost-gbdt":
+            raise DataError(f"unrecognized model format {payload.get('format')!r}")
+        return cls(
+            trees=[RegressionTree.from_dict(t) for t in payload["trees"]],
+            base_score=float(payload["base_score"]),
+            loss_name=str(payload["loss"]),
+            n_features=int(payload["n_features"]),
+        )
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the model as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "GBDTModel":
+        """Read a model written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:
+        return (
+            f"GBDTModel(n_trees={self.n_trees}, loss={self.loss_name!r}, "
+            f"n_features={self.n_features})"
+        )

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Five subcommands cover the offline workflow end to end::
+
+    python -m repro.cli generate --preset rcv1 --scale 0.3 --out data.libsvm
+    python -m repro.cli train data.libsvm --model model.json --trees 20
+    python -m repro.cli predict model.json data.libsvm --out scores.txt
+    python -m repro.cli evaluate model.json data.libsvm
+    python -m repro.cli compare data.libsvm --workers 8
+
+``train`` runs the single-machine trainer by default; pass ``--system``
+to train on the simulated cluster with any of the five system backends.
+``compare`` races all systems on one dataset and prints the Figure 12
+style summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import __version__
+from .boosting import GBDTModel, accuracy, auc, error_rate, logloss, rmse
+from .boosting.gbdt import GBDT
+from .config import ClusterConfig, TrainConfig
+from .datasets import (
+    gender_like,
+    load_libsvm,
+    low_dim_like,
+    rcv1_like,
+    save_libsvm,
+    synthesis_like,
+    train_test_split,
+)
+from .distributed import BACKEND_NAMES, train_distributed
+from .errors import ReproError
+
+_PRESETS: dict[str, Callable] = {
+    "rcv1": rcv1_like,
+    "synthesis": synthesis_like,
+    "gender": gender_like,
+    "lowdim": low_dim_like,
+}
+
+
+def _add_train_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trees", type=int, default=20, help="boosting rounds T")
+    parser.add_argument("--depth", type=int, default=6, help="maximal tree depth d")
+    parser.add_argument(
+        "--bins", type=int, default=20, help="split candidates per feature K"
+    )
+    parser.add_argument(
+        "--learning-rate", type=float, default=0.1, help="shrinkage eta"
+    )
+    parser.add_argument(
+        "--loss", choices=("logistic", "squared"), default="logistic"
+    )
+    parser.add_argument(
+        "--feature-sample", type=float, default=1.0, help="per-tree feature ratio"
+    )
+    parser.add_argument("--reg-lambda", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
+    return TrainConfig(
+        n_trees=args.trees,
+        max_depth=args.depth,
+        n_split_candidates=args.bins,
+        learning_rate=args.learning_rate,
+        loss=args.loss,
+        feature_sample_ratio=args.feature_sample,
+        reg_lambda=args.reg_lambda,
+        compression_bits=bits,
+        seed=args.seed,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    factory = _PRESETS[args.preset]
+    data = factory(scale=args.scale, seed=args.seed)
+    save_libsvm(data, args.out)
+    print(
+        f"wrote {args.out}: {data.n_instances} instances, "
+        f"{data.n_features} features, avg nnz {data.avg_nnz:.1f}"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    data = load_libsvm(args.data, n_features=args.n_features)
+    print(f"loaded {data}")
+    config = _config_from_args(args, bits=args.compression_bits)
+    if args.system:
+        cluster = ClusterConfig(n_workers=args.workers, n_servers=args.servers)
+        result = train_distributed(args.system, data, cluster, config)
+        model = result.model
+        print(
+            f"trained with {args.system} on {args.workers} simulated workers "
+            f"in {result.sim_seconds:.3f} simulated seconds "
+            f"({result.breakdown.as_dict()})"
+        )
+    else:
+        trainer = GBDT(config)
+        model = trainer.fit(data)
+        last = trainer.history[-1]
+        print(
+            f"trained {config.n_trees} trees in {last.elapsed_seconds:.2f}s; "
+            f"final train loss {last.train_loss:.4f}"
+        )
+    model.save(args.model)
+    print(f"model saved to {args.model}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    model = GBDTModel.load(args.model)
+    data = load_libsvm(args.data, n_features=model.n_features)
+    predictions = model.predict(data.X)
+    if args.out:
+        np.savetxt(args.out, predictions, fmt="%.6g")
+        print(f"wrote {len(predictions)} predictions to {args.out}")
+    else:
+        for value in predictions:
+            print(f"{value:.6g}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    model = GBDTModel.load(args.model)
+    data = load_libsvm(args.data, n_features=model.n_features)
+    predictions = model.predict(data.X)
+    if model.loss_name == "logistic":
+        print(f"error rate: {error_rate(data.y, predictions):.4f}")
+        print(f"accuracy:   {accuracy(data.y, predictions):.4f}")
+        print(f"logloss:    {logloss(data.y, predictions):.4f}")
+        try:
+            print(f"AUC:        {auc(data.y, predictions):.4f}")
+        except ReproError:
+            pass  # single-class file: AUC undefined
+    else:
+        print(f"rmse:       {rmse(data.y, predictions):.4f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    data = load_libsvm(args.data, n_features=args.n_features)
+    train, test = train_test_split(data, test_fraction=0.1, seed=args.seed)
+    config = _config_from_args(args)
+    cluster = ClusterConfig(n_workers=args.workers, n_servers=args.workers)
+    systems = args.systems.split(",") if args.systems else list(BACKEND_NAMES)
+    print(
+        f"{'system':14s} {'sim s':>8s} {'load':>7s} {'compute':>8s} "
+        f"{'comm':>7s} {'test err':>9s}"
+    )
+    times = {}
+    for system in systems:
+        result = train_distributed(system, train, cluster, config)
+        err = error_rate(test.y, result.model.predict(test.X))
+        b = result.breakdown
+        times[system] = result.sim_seconds
+        print(
+            f"{system:14s} {b.total:8.3f} {b.loading:7.3f} "
+            f"{b.computation:8.3f} {b.communication:7.3f} {err:9.4f}"
+        )
+    if "dimboost" in times:
+        for system, t in times.items():
+            if system != "dimboost":
+                print(f"dimboost speedup vs {system}: {t / times['dimboost']:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DimBoost reproduction: distributed GBDT for "
+        "high-dimensional sparse data",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a dataset to LibSVM")
+    gen.add_argument("--preset", choices=sorted(_PRESETS), default="rcv1")
+    gen.add_argument("--scale", type=float, default=0.2)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    train = sub.add_parser("train", help="train a GBDT model")
+    train.add_argument("data", help="LibSVM training file")
+    train.add_argument("--model", required=True, help="output model JSON")
+    train.add_argument("--n-features", type=int, default=None)
+    train.add_argument(
+        "--system",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="train distributed with this system (default: single machine)",
+    )
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--servers", type=int, default=4)
+    train.add_argument("--compression-bits", type=int, default=0)
+    _add_train_options(train)
+    train.set_defaults(func=cmd_train)
+
+    predict = sub.add_parser("predict", help="score a LibSVM file")
+    predict.add_argument("model")
+    predict.add_argument("data")
+    predict.add_argument("--out", default=None)
+    predict.set_defaults(func=cmd_predict)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a model on a file")
+    evaluate.add_argument("model")
+    evaluate.add_argument("data")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    compare = sub.add_parser(
+        "compare", help="race the five systems on one dataset"
+    )
+    compare.add_argument("data")
+    compare.add_argument("--n-features", type=int, default=None)
+    compare.add_argument("--workers", type=int, default=4)
+    compare.add_argument(
+        "--systems", default=None, help="comma-separated subset of systems"
+    )
+    _add_train_options(compare)
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""The alpha-beta-gamma communication cost model (Section 3, Table 1).
+
+"We model the time needed for a worker to send or receive a package as
+``alpha + n * beta`` where ``alpha`` is the latency for each package,
+``beta`` is the transfer time per byte ... ``gamma`` is the computation
+cost per byte for merging two histograms."
+
+The four closed forms below are the rows of Table 1 verbatim:
+
+=========  ============  ==============================================
+System     # comm steps  communication time
+=========  ============  ==============================================
+MLlib      1             ``h*beta*w + alpha + h*gamma``
+XGBoost    log w         ``(h*beta + alpha + h*gamma) * log w``
+LightGBM   log w         ``(w-1)/w*h*beta + (alpha + h*gamma) * log w``
+                         (doubled when w is not a power of two)
+DimBoost   1             ``(w-1)/w*h*beta + (w-1)*alpha + h*gamma``
+=========  ============  ==============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CommunicationError
+
+#: Names of the modelled systems in the paper's Table 1 order.
+SYSTEM_NAMES = ("mllib", "xgboost", "lightgbm", "dimboost")
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cost constants; see :class:`repro.config.NetworkCost` for defaults.
+
+    Attributes:
+        alpha: Latency per package (seconds).
+        beta: Transfer time per byte (seconds).
+        gamma: Merge time per byte (seconds).
+    """
+
+    alpha: float = 1e-4
+    beta: float = 8e-9
+    gamma: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise CommunicationError(
+                f"cost constants must be >= 0, got "
+                f"alpha={self.alpha}, beta={self.beta}, gamma={self.gamma}"
+            )
+
+
+def _check(w: int, h: float) -> None:
+    if w < 1:
+        raise CommunicationError(f"worker count must be >= 1, got {w}")
+    if h < 0:
+        raise CommunicationError(f"histogram size must be >= 0, got {h}")
+
+
+def is_power_of_two(w: int) -> bool:
+    """Whether ``w`` is a power of two (w >= 1)."""
+    return w >= 1 and (w & (w - 1)) == 0
+
+
+def log2_steps(w: int) -> int:
+    """``ceil(log2 w)`` — the step count of tree/halving collectives."""
+    return max(1, math.ceil(math.log2(w))) if w > 1 else 0
+
+
+def mllib_aggregation_time(w: int, h: float, cost: CostParams) -> float:
+    """Table 1, MLlib row: all-to-one reduce; one step, ``h*beta*w`` transfer."""
+    _check(w, h)
+    if w == 1:
+        return h * cost.gamma
+    return h * cost.beta * w + cost.alpha + h * cost.gamma
+
+
+def xgboost_aggregation_time(w: int, h: float, cost: CostParams) -> float:
+    """Table 1, XGBoost row: binomial-tree AllReduce, ``log w`` serial steps."""
+    _check(w, h)
+    steps = log2_steps(w)
+    return (h * cost.beta + cost.alpha + h * cost.gamma) * steps
+
+
+def lightgbm_aggregation_time(w: int, h: float, cost: CostParams) -> float:
+    """Table 1, LightGBM row: recursive-halving ReduceScatter.
+
+    "If w is not a power of two, the time taken by LightGBM is doubled."
+    """
+    _check(w, h)
+    if w == 1:
+        return h * cost.gamma
+    steps = log2_steps(w)
+    base = (w - 1) / w * h * cost.beta + (cost.alpha + h * cost.gamma) * steps
+    return base if is_power_of_two(w) else 2.0 * base
+
+
+def dimboost_aggregation_time(w: int, h: float, cost: CostParams) -> float:
+    """Table 1, DimBoost row: PS scatter-aggregate in one batched step."""
+    _check(w, h)
+    if w == 1:
+        return h * cost.gamma
+    return (w - 1) / w * h * cost.beta + (w - 1) * cost.alpha + h * cost.gamma
+
+
+_TIME_FUNCS = {
+    "mllib": mllib_aggregation_time,
+    "xgboost": xgboost_aggregation_time,
+    "lightgbm": lightgbm_aggregation_time,
+    "dimboost": dimboost_aggregation_time,
+}
+
+
+def aggregation_time(system: str, w: int, h: float, cost: CostParams) -> float:
+    """Dispatch on the Table 1 row name (see ``SYSTEM_NAMES``)."""
+    try:
+        func = _TIME_FUNCS[system]
+    except KeyError as exc:
+        raise CommunicationError(
+            f"unknown system {system!r}; expected one of {SYSTEM_NAMES}"
+        ) from exc
+    return func(w, h, cost)
+
+
+def comm_steps(system: str, w: int) -> int:
+    """The ``# comm steps`` column of Table 1."""
+    if system in ("mllib", "dimboost"):
+        return 1 if w > 1 else 0
+    if system in ("xgboost", "lightgbm"):
+        return log2_steps(w)
+    raise CommunicationError(
+        f"unknown system {system!r}; expected one of {SYSTEM_NAMES}"
+    )
+
+
+def crossover_workers(
+    system_a: str,
+    system_b: str,
+    h: float,
+    cost: CostParams,
+    max_workers: int = 1024,
+) -> int | None:
+    """Smallest worker count at which ``system_b`` beats ``system_a``.
+
+    Scans ``w`` = 2..max_workers; returns None if ``system_b`` never wins.
+    Used to locate the crossovers the paper's "Remarks" paragraph
+    describes (DimBoost/LightGBM overtake MLlib/XGBoost as w grows).
+    """
+    for w in range(2, max_workers + 1):
+        if aggregation_time(system_b, w, h, cost) < aggregation_time(
+            system_a, w, h, cost
+        ):
+            return w
+    return None

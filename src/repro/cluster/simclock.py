@@ -1,0 +1,89 @@
+"""Simulated cluster clock.
+
+All workers of the simulated cluster execute inside one Python process,
+so their *parallel* compute must be accounted explicitly: a phase where
+every worker independently spends ``t_i`` seconds advances the cluster
+clock by ``max(t_i)`` (the synchronization barrier of Section 4.4 makes
+every phase end when the slowest worker finishes).  Communication time
+comes from the cost model and is added directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import CommunicationError
+
+
+class SimClock:
+    """Monotonic simulated clock with parallel-region support.
+
+    Besides the communication/computation split, every charge can carry
+    a *phase label* ("BUILD_HISTOGRAM", "FIND_SPLIT", ...) so trainers
+    can report where the time went — the introspection behind the
+    Table 3 style per-phase analysis.
+
+    Attributes:
+        time: Current simulated time in seconds.
+    """
+
+    __slots__ = ("time", "_comm", "_comp", "_by_phase")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self._comm = 0.0
+        self._comp = 0.0
+        self._by_phase: dict[str, float] = {}
+
+    @property
+    def communication(self) -> float:
+        """Total simulated time attributed to communication."""
+        return self._comm
+
+    @property
+    def computation(self) -> float:
+        """Total simulated time attributed to (parallel) computation."""
+        return self._comp
+
+    def by_phase(self) -> dict[str, float]:
+        """Seconds charged per phase label (labelled charges only)."""
+        return dict(self._by_phase)
+
+    def advance_comm(self, seconds: float, phase: str | None = None) -> None:
+        """Charge ``seconds`` of communication time."""
+        self._charge(seconds, phase)
+        self._comm += seconds
+
+    def advance_compute(self, seconds: float, phase: str | None = None) -> None:
+        """Charge ``seconds`` of computation time."""
+        self._charge(seconds, phase)
+        self._comp += seconds
+
+    def barrier(
+        self, per_worker_seconds: Iterable[float], phase: str | None = None
+    ) -> float:
+        """End a parallel compute region: advance by the slowest worker.
+
+        Args:
+            per_worker_seconds: Measured compute time of each worker.
+            phase: Optional phase label for the charge.
+
+        Returns:
+            The seconds charged (the maximum, 0.0 if empty).
+        """
+        worst = max(per_worker_seconds, default=0.0)
+        self.advance_compute(worst, phase)
+        return worst
+
+    def _charge(self, seconds: float, phase: str | None = None) -> None:
+        if seconds < 0:
+            raise CommunicationError(f"cannot advance clock by {seconds} < 0")
+        self.time += seconds
+        if phase is not None:
+            self._by_phase[phase] = self._by_phase.get(phase, 0.0) + seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"SimClock(time={self.time:.6f}, comm={self._comm:.6f}, "
+            f"comp={self._comp:.6f})"
+        )

@@ -1,0 +1,26 @@
+"""Low-precision gradient-histogram compression (Section 6.1).
+
+Quantizes 32-bit floating-point histogram values into ``d``-bit
+fixed-point integers with stochastic rounding, achieving a ``32 / d``
+compression ratio.  Appendix A.1 proves the resulting split gains are
+unbiased; the property tests in ``tests/compression`` verify both the
+unbiasedness and the ``|c| / 2**(d-1)`` error bound empirically.
+"""
+
+from .lowprec import (
+    BlockCompressedHistogram,
+    CompressedHistogram,
+    compress_blocked,
+    compress_flat,
+    decompress_blocked,
+    decompress_flat,
+)
+
+__all__ = [
+    "CompressedHistogram",
+    "compress_flat",
+    "decompress_flat",
+    "BlockCompressedHistogram",
+    "compress_blocked",
+    "decompress_blocked",
+]

@@ -1,0 +1,199 @@
+"""Configuration objects for training and cluster simulation.
+
+Two dataclasses are exposed:
+
+* :class:`TrainConfig` — GBDT hyper-parameters (Section 7.1 of the paper
+  lists the defaults used in the evaluation; we keep the same names).
+* :class:`ClusterConfig` — shape of the simulated cluster: number of
+  workers, number of parameter servers, and the alpha/beta/gamma network
+  cost constants of the Section 3 cost model.
+
+Both validate eagerly in ``__post_init__`` and raise :class:`ConfigError`
+with a message naming the offending field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .errors import ConfigError
+
+#: Loss names accepted by :class:`TrainConfig`.
+SUPPORTED_LOSSES = ("logistic", "squared")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of a GBDT training run.
+
+    The defaults mirror the paper's protocol (Section 7.1): 20 trees of
+    maximal depth 7, 20 split candidates, learning rate 0.01, feature
+    sampling ratio 1.0, and 8-bit histogram compression.
+
+    Attributes:
+        n_trees: Number of boosting rounds ``T``.
+        max_depth: Maximal tree depth ``d``; the root is at depth 1, so a
+            tree holds at most ``2**d - 1`` nodes.
+        n_split_candidates: Number of candidate split values ``K`` proposed
+            per feature from the quantile sketch.
+        learning_rate: Shrinkage ``eta`` applied to leaf weights.
+        feature_sample_ratio: Fraction ``sigma`` of features sampled per tree.
+        reg_lambda: L2 regularization ``lambda`` on leaf weights.
+        reg_gamma: Complexity penalty ``gamma`` per leaf.
+        min_split_gain: Minimal objective gain required to split a node.
+        min_child_weight: Minimal sum of hessians required on each side of
+            a split (standard GBDT guard against degenerate leaves).
+        loss: Name of the loss function, one of ``SUPPORTED_LOSSES``.
+        compression_bits: Width ``r`` of the fixed-point histogram codec;
+            0 disables compression (full 32-bit floats on the wire).
+        batch_size: Instance batch size ``b`` for parallel histogram
+            construction.
+        n_threads: Simulated per-worker thread count ``q`` used for the
+            parallel-span accounting of batch construction.
+        sketch_eps: Rank-error bound of the Greenwald-Khanna sketch.
+        seed: Seed for all stochastic choices (feature sampling, stochastic
+            rounding, synthetic splits of data).
+    """
+
+    n_trees: int = 20
+    max_depth: int = 7
+    n_split_candidates: int = 20
+    learning_rate: float = 0.01
+    feature_sample_ratio: float = 1.0
+    reg_lambda: float = 1.0
+    reg_gamma: float = 0.0
+    min_split_gain: float = 0.0
+    min_child_weight: float = 0.0
+    loss: str = "logistic"
+    compression_bits: int = 8
+    batch_size: int = 10_000
+    n_threads: int = 20
+    sketch_eps: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.n_trees >= 1, f"n_trees must be >= 1, got {self.n_trees}")
+        _require(self.max_depth >= 1, f"max_depth must be >= 1, got {self.max_depth}")
+        _require(
+            self.n_split_candidates >= 1,
+            f"n_split_candidates must be >= 1, got {self.n_split_candidates}",
+        )
+        _require(
+            self.learning_rate > 0.0,
+            f"learning_rate must be > 0, got {self.learning_rate}",
+        )
+        _require(
+            0.0 < self.feature_sample_ratio <= 1.0,
+            f"feature_sample_ratio must be in (0, 1], got {self.feature_sample_ratio}",
+        )
+        _require(self.reg_lambda >= 0.0, f"reg_lambda must be >= 0, got {self.reg_lambda}")
+        _require(self.reg_gamma >= 0.0, f"reg_gamma must be >= 0, got {self.reg_gamma}")
+        _require(
+            self.min_split_gain >= 0.0,
+            f"min_split_gain must be >= 0, got {self.min_split_gain}",
+        )
+        _require(
+            self.min_child_weight >= 0.0,
+            f"min_child_weight must be >= 0, got {self.min_child_weight}",
+        )
+        _require(
+            self.loss in SUPPORTED_LOSSES,
+            f"loss must be one of {SUPPORTED_LOSSES}, got {self.loss!r}",
+        )
+        _require(
+            self.compression_bits in (0, 2, 4, 8, 16),
+            f"compression_bits must be one of (0, 2, 4, 8, 16), got {self.compression_bits}",
+        )
+        _require(self.batch_size >= 1, f"batch_size must be >= 1, got {self.batch_size}")
+        _require(self.n_threads >= 1, f"n_threads must be >= 1, got {self.n_threads}")
+        _require(
+            0.0 < self.sketch_eps < 0.5,
+            f"sketch_eps must be in (0, 0.5), got {self.sketch_eps}",
+        )
+
+    @property
+    def max_nodes(self) -> int:
+        """Maximal number of nodes in one tree, ``2**max_depth - 1``."""
+        return (1 << self.max_depth) - 1
+
+    def with_overrides(self, **changes: Any) -> "TrainConfig":
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Per-message network cost constants of the Section 3 model.
+
+    The time for one node to send or receive a package of ``n`` bytes is
+    ``alpha + n * beta``; merging ``n`` bytes of histograms costs
+    ``n * gamma``.  The defaults approximate the paper's 1 GbE cluster:
+    0.1 ms latency, ~8 ns/byte transfer (≈1 Gbit/s), 1 ns/byte merge.
+    """
+
+    alpha: float = 1e-4
+    beta: float = 8e-9
+    gamma: float = 1e-9
+
+    def __post_init__(self) -> None:
+        _require(self.alpha >= 0.0, f"alpha must be >= 0, got {self.alpha}")
+        _require(self.beta >= 0.0, f"beta must be >= 0, got {self.beta}")
+        _require(self.gamma >= 0.0, f"gamma must be >= 0, got {self.gamma}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster.
+
+    Attributes:
+        n_workers: Number of workers ``w``; each holds one data shard.
+        n_servers: Number of parameter servers ``p``.  The paper co-locates
+            one worker and one server per machine by default.
+        network: Alpha/beta/gamma constants used by the simulated fabric.
+        colocated: Whether servers are co-located with workers (affects
+            the PS push accounting: the local slice skips the wire).
+        worker_speeds: Optional relative speed per worker (1.0 = nominal;
+            0.5 = half speed).  Models heterogeneous clusters: a worker's
+            measured compute is divided by its speed before the barrier,
+            so one straggler slows every synchronous phase — the
+            sensitivity the authors' companion heterogeneity-aware PS
+            work addresses.
+    """
+
+    n_workers: int = 4
+    n_servers: int = 4
+    network: NetworkCost = field(default_factory=NetworkCost)
+    colocated: bool = True
+    worker_speeds: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
+        _require(self.n_servers >= 1, f"n_servers must be >= 1, got {self.n_servers}")
+        if self.worker_speeds is not None:
+            speeds = tuple(float(s) for s in self.worker_speeds)
+            object.__setattr__(self, "worker_speeds", speeds)
+            _require(
+                len(speeds) == self.n_workers,
+                f"worker_speeds must have n_workers={self.n_workers} entries, "
+                f"got {len(speeds)}",
+            )
+            _require(
+                all(s > 0 for s in speeds),
+                f"worker_speeds must be positive, got {speeds}",
+            )
+
+    def speed_of(self, worker_id: int) -> float:
+        """Relative speed of one worker (1.0 when unspecified)."""
+        if self.worker_speeds is None:
+            return 1.0
+        return self.worker_speeds[worker_id]
+
+    def with_overrides(self, **changes: Any) -> "ClusterConfig":
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)

@@ -1,0 +1,49 @@
+"""Dataset substrate: sparse matrices, synthetic generators, IO, partitioning.
+
+The paper's datasets (RCV1, Synthesis, Gender) are high-dimensional and
+extremely sparse (~100 nonzeros out of up to 330K features per instance).
+This package provides:
+
+* :class:`CSRMatrix` — a from-scratch compressed-sparse-row matrix, the
+  on-worker storage format described in Section 2.1 (nonzeros stored as
+  index/value pairs).
+* :class:`Dataset` — features + labels with validation and train/test split.
+* synthetic generators that mimic each paper dataset's shape statistics.
+* a LibSVM-format reader/writer (the de-facto exchange format for sparse
+  GBDT training data).
+* a row partitioner that shards a dataset over workers.
+"""
+
+from .sparse import CSRMatrix
+from .dataset import Dataset, train_test_split
+from .synthetic import (
+    SyntheticSpec,
+    make_sparse_classification,
+    make_sparse_regression,
+    rcv1_like,
+    synthesis_like,
+    gender_like,
+    low_dim_like,
+)
+from .loader import load_libsvm, save_libsvm
+from .partition import partition_rows
+from .storage import StorageLevel, load_dataset, save_dataset
+
+__all__ = [
+    "CSRMatrix",
+    "Dataset",
+    "train_test_split",
+    "SyntheticSpec",
+    "make_sparse_classification",
+    "make_sparse_regression",
+    "rcv1_like",
+    "synthesis_like",
+    "gender_like",
+    "low_dim_like",
+    "load_libsvm",
+    "save_libsvm",
+    "partition_rows",
+    "StorageLevel",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,114 @@
+"""Dataset container bundling a sparse feature matrix with labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..utils.rng import spawn_rng
+from .sparse import CSRMatrix
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised dataset: sparse features ``X``, labels ``y``, and
+    optional per-instance weights.
+
+    For binary classification labels must be in {0, 1}; for regression any
+    float is allowed.  Weights, when given, must be non-negative and scale
+    each instance's contribution to gradients and losses.  The container
+    is immutable — all transformations return new datasets.
+    """
+
+    X: CSRMatrix
+    y: np.ndarray
+    name: str = "dataset"
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        y = np.ascontiguousarray(self.y, dtype=np.float32)
+        object.__setattr__(self, "y", y)
+        if y.ndim != 1:
+            raise DataError(f"labels must be 1-D, got ndim={y.ndim}")
+        if len(y) != self.X.n_rows:
+            raise DataError(
+                f"label count ({len(y)}) must match instance count ({self.X.n_rows})"
+            )
+        if self.weights is not None:
+            w = np.ascontiguousarray(self.weights, dtype=np.float64)
+            object.__setattr__(self, "weights", w)
+            if w.shape != y.shape:
+                raise DataError(
+                    f"weights shape {w.shape} must match labels shape {y.shape}"
+                )
+            if np.any(w < 0) or not np.all(np.isfinite(w)):
+                raise DataError("weights must be finite and non-negative")
+
+    @property
+    def n_instances(self) -> int:
+        """Number of training instances N."""
+        return self.X.n_rows
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality M."""
+        return self.X.n_cols
+
+    @property
+    def avg_nnz(self) -> float:
+        """Average nonzeros per instance (the paper's ``# nonzero`` column)."""
+        return self.X.nnz / self.n_instances if self.n_instances else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, n={self.n_instances}, m={self.n_features}, "
+            f"avg_nnz={self.avg_nnz:.1f})"
+        )
+
+    def take(self, row_ids: np.ndarray) -> "Dataset":
+        """Return the sub-dataset at ``row_ids`` (order preserved)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        weights = self.weights[row_ids] if self.weights is not None else None
+        return Dataset(
+            self.X.take_rows(row_ids), self.y[row_ids], self.name, weights
+        )
+
+    def first_features(self, m: int) -> "Dataset":
+        """Keep only the first ``m`` features (the paper's Gender-10K style
+        prefix subsets, Section 7.3.4)."""
+        if not 0 < m <= self.n_features:
+            raise DataError(f"m must be in (0, {self.n_features}], got {m}")
+        keep = self.X.indices < m
+        kept_per_row = np.zeros(self.n_instances, dtype=np.int64)
+        row_of = np.repeat(np.arange(self.n_instances), self.X.row_nnz())
+        np.add.at(kept_per_row, row_of[keep], 1)
+        indptr = np.zeros(self.n_instances + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        X = CSRMatrix(indptr, self.X.indices[keep], self.X.data[keep], (self.n_instances, m))
+        return Dataset(X, self.y, f"{self.name}-{m}", self.weights)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.1, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Split into train/test by random permutation (paper: 90% / 10%).
+
+    Args:
+        dataset: The dataset to split.
+        test_fraction: Fraction of instances held out for testing.
+        seed: Seed for the permutation.
+
+    Returns:
+        (train, test) datasets.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = spawn_rng(seed, "train_test_split", dataset.name)
+    order = rng.permutation(dataset.n_instances)
+    n_test = max(1, int(round(dataset.n_instances * test_fraction)))
+    test_ids, train_ids = order[:n_test], order[n_test:]
+    if len(train_ids) == 0:
+        raise DataError("train_test_split left no training instances")
+    return dataset.take(np.sort(train_ids)), dataset.take(np.sort(test_ids))

@@ -1,0 +1,291 @@
+"""A from-scratch compressed-sparse-row (CSR) matrix.
+
+Section 2.1 of the paper: "when the data set is sparse, only nonzero
+elements need to be stored as a pair of their *index* and corresponding
+*feature value*".  :class:`CSRMatrix` is that representation, with the rows
+packed back to back — three numpy arrays:
+
+* ``indptr``  — ``n_rows + 1`` offsets; row ``i`` occupies
+  ``indices[indptr[i]:indptr[i+1]]`` / ``data[indptr[i]:indptr[i+1]]``.
+* ``indices`` — column index of each nonzero, sorted within a row.
+* ``data``    — value of each nonzero.
+
+Only the operations the GBDT stack needs are implemented (row access, row
+selection, dense conversion, per-column iteration, matvec for PCA); this is
+deliberately not a general sparse-algebra library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+
+
+class CSRMatrix:
+    """Immutable compressed-sparse-row matrix of float32 values.
+
+    Construct directly from the three CSR arrays, or via
+    :meth:`from_rows` / :meth:`from_dense`.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "n_rows", "n_cols")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        self.n_rows, self.n_cols = int(shape[0]), int(shape[1])
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise DataError(f"shape must be non-negative, got ({self.n_rows}, {self.n_cols})")
+        if self.indptr.ndim != 1 or len(self.indptr) != self.n_rows + 1:
+            raise DataError(
+                f"indptr must have length n_rows + 1 = {self.n_rows + 1}, "
+                f"got {len(self.indptr)}"
+            )
+        if self.indptr[0] != 0:
+            raise DataError(f"indptr[0] must be 0, got {self.indptr[0]}")
+        if len(self.indices) != len(self.data):
+            raise DataError(
+                f"indices ({len(self.indices)}) and data ({len(self.data)}) "
+                "must have equal length"
+            )
+        if self.indptr[-1] != len(self.indices):
+            raise DataError(
+                f"indptr[-1] ({self.indptr[-1]}) must equal nnz ({len(self.indices)})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise DataError("indptr must be non-decreasing")
+        if len(self.indices) > 0:
+            if self.indices.min() < 0 or self.indices.max() >= self.n_cols:
+                raise DataError(
+                    f"column indices must lie in [0, {self.n_cols}), "
+                    f"got range [{self.indices.min()}, {self.indices.max()}]"
+                )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Iterable[tuple[int, float]]],
+        n_cols: int,
+    ) -> "CSRMatrix":
+        """Build from a sequence of rows, each an iterable of (index, value).
+
+        Duplicate indices within a row are rejected; indices need not be
+        pre-sorted (they are sorted here).  Zero values are kept if given
+        explicitly — callers that want them dropped should filter first.
+        """
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        all_indices: list[np.ndarray] = []
+        all_data: list[np.ndarray] = []
+        for i, row in enumerate(rows):
+            pairs = sorted(row)
+            idx = np.fromiter((p[0] for p in pairs), dtype=np.int32, count=len(pairs))
+            val = np.fromiter((p[1] for p in pairs), dtype=np.float32, count=len(pairs))
+            if len(idx) > 1 and np.any(idx[1:] == idx[:-1]):
+                raise DataError(f"row {i} contains duplicate column indices")
+            all_indices.append(idx)
+            all_data.append(val)
+            indptr[i + 1] = indptr[i] + len(idx)
+        indices = (
+            np.concatenate(all_indices) if all_indices else np.empty(0, dtype=np.int32)
+        )
+        data = np.concatenate(all_data) if all_data else np.empty(0, dtype=np.float32)
+        return cls(indptr, indices, data, (len(rows), n_cols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a 2-D dense array, dropping exact zeros."""
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.ndim != 2:
+            raise DataError(f"from_dense expects a 2-D array, got ndim={dense.ndim}")
+        n_rows, n_cols = dense.shape
+        mask = dense != 0.0
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        row_idx, col_idx = np.nonzero(mask)
+        del row_idx  # np.nonzero returns row-major order, matching indptr
+        return cls(indptr, col_idx.astype(np.int32), dense[mask], (n_rows, n_cols))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_rows, n_cols)."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Total number of stored nonzeros."""
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the three CSR arrays."""
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def density(self) -> float:
+        """Fraction of stored entries, nnz / (n_rows * n_cols)."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix(shape=({self.n_rows}, {self.n_cols}), nnz={self.nnz}, "
+            f"density={self.density():.2e})"
+        )
+
+    # ------------------------------------------------------------------
+    # row access
+    # ------------------------------------------------------------------
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, values) views of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise DataError(f"row index {i} out of range [0, {self.n_rows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of nonzeros per row, shape (n_rows,)."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (indices, values) for each row in order."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def take_rows(self, row_ids: np.ndarray) -> "CSRMatrix":
+        """Return a new matrix containing ``row_ids`` in the given order."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) > 0 and (row_ids.min() < 0 or row_ids.max() >= self.n_rows):
+            raise DataError("take_rows: row index out of range")
+        counts = self.indptr[row_ids + 1] - self.indptr[row_ids]
+        indptr = np.zeros(len(row_ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        data = np.empty(int(indptr[-1]), dtype=np.float32)
+        for out_i, i in enumerate(row_ids):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            out_lo, out_hi = indptr[out_i], indptr[out_i + 1]
+            indices[out_lo:out_hi] = self.indices[lo:hi]
+            data[out_lo:out_hi] = self.data[lo:hi]
+        return CSRMatrix(indptr, indices, data, (len(row_ids), self.n_cols))
+
+    def slice_rows(self, start: int, stop: int) -> "CSRMatrix":
+        """Return rows ``[start, stop)`` as a new matrix (cheap views)."""
+        if not 0 <= start <= stop <= self.n_rows:
+            raise DataError(
+                f"slice_rows range [{start}, {stop}) invalid for {self.n_rows} rows"
+            )
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = self.indptr[start : stop + 1] - lo
+        return CSRMatrix(
+            indptr, self.indices[lo:hi], self.data[lo:hi], (stop - start, self.n_cols)
+        )
+
+    # ------------------------------------------------------------------
+    # columns and dense conversion
+    # ------------------------------------------------------------------
+
+    def column_values(self, col: int) -> np.ndarray:
+        """Return the stored (nonzero) values of column ``col``.
+
+        Linear scan over all nonzeros; used only for small data and tests.
+        """
+        if not 0 <= col < self.n_cols:
+            raise DataError(f"column index {col} out of range [0, {self.n_cols})")
+        return self.data[self.indices == col]
+
+    def column_nnz(self) -> np.ndarray:
+        """Number of stored values per column, shape (n_cols,)."""
+        return np.bincount(self.indices, minlength=self.n_cols).astype(np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float32 array of shape (n_rows, n_cols)."""
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.float32)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        out[row_of, self.indices] = self.data
+        return out
+
+    def to_csc(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-major view: (col_indptr, row_indices, values).
+
+        Column ``c`` owns ``row_indices[col_indptr[c]:col_indptr[c+1]]``
+        and the parallel ``values`` — the layout tree prediction uses for
+        fast per-feature access.
+        """
+        order = np.lexsort((self.indices,))
+        row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        sorted_cols = self.indices[order]
+        col_indptr = np.searchsorted(sorted_cols, np.arange(self.n_cols + 1)).astype(
+            np.int64
+        )
+        return col_indptr, row_of[order], self.data[order]
+
+    # ------------------------------------------------------------------
+    # linear algebra (for PCA, Table 6)
+    # ------------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x`` for a vector or matrix ``x`` with n_cols rows."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.n_cols:
+            raise DataError(
+                f"matvec: operand has {x.shape[0]} rows, expected {self.n_cols}"
+            )
+        out_shape = (self.n_rows,) + x.shape[1:]
+        out = np.zeros(out_shape, dtype=np.float64)
+        gathered = self.data[:, None] * x[self.indices] if x.ndim == 2 else (
+            self.data * x[self.indices]
+        )
+        row_of = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        np.add.at(out, row_of, gathered)
+        return out
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A.T @ x`` for a vector or matrix ``x`` with n_rows rows."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.n_rows:
+            raise DataError(
+                f"rmatvec: operand has {x.shape[0]} rows, expected {self.n_rows}"
+            )
+        out_shape = (self.n_cols,) + x.shape[1:]
+        out = np.zeros(out_shape, dtype=np.float64)
+        row_of = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        gathered = self.data[:, None] * x[row_of] if x.ndim == 2 else (
+            self.data * x[row_of]
+        )
+        np.add.at(out, self.indices, gathered)
+        return out
+
+    # ------------------------------------------------------------------
+    # equality (for tests)
+    # ------------------------------------------------------------------
+
+    def equals(self, other: "CSRMatrix") -> bool:
+        """Exact structural and value equality."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )

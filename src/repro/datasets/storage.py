@@ -1,0 +1,164 @@
+"""Binary dataset storage with memory / disk storage levels.
+
+Section 7.1: "we provide an easy-to-use data-reading API with memory,
+disk, and memory-and-disk storage levels."  This module is that API for
+the reproduction: datasets serialize to a single ``.npz`` file holding
+the CSR arrays plus labels (and weights), and load back at one of three
+levels:
+
+* ``MEMORY`` — all arrays materialized in RAM (fastest).
+* ``DISK`` — the large CSR arrays are memory-mapped from disk and paged
+  in on demand; only the tiny metadata lives in RAM.
+* ``MEMORY_AND_DISK`` — the index structures (indptr/indices), which
+  every histogram build touches, live in RAM; the value array, touched
+  only during binning, stays memory-mapped.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import zipfile
+
+import numpy as np
+
+from ..errors import DataError
+from .dataset import Dataset
+from .sparse import CSRMatrix
+
+#: Format marker written into every file.
+_FORMAT = "repro-dataset-npz"
+_VERSION = 1
+
+
+class StorageLevel(enum.Enum):
+    """Where the loaded arrays live (Section 7.1's storage levels)."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+    MEMORY_AND_DISK = "memory-and-disk"
+
+
+def save_dataset(dataset: Dataset, path: str | os.PathLike[str]) -> None:
+    """Write a dataset to a single ``.npz`` file (uncompressed).
+
+    Uncompressed npz keeps every array byte-aligned in the archive, which
+    is what makes the DISK level's memory mapping possible.
+    """
+    meta = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": dataset.name,
+        "n_rows": dataset.X.n_rows,
+        "n_cols": dataset.X.n_cols,
+        "has_weights": dataset.weights is not None,
+    }
+    arrays = {
+        "indptr": dataset.X.indptr,
+        "indices": dataset.X.indices,
+        "data": dataset.X.data,
+        "labels": dataset.y,
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    if dataset.weights is not None:
+        arrays["weights"] = dataset.weights
+    np.savez(path, **arrays)
+
+
+def _read_meta(archive: np.lib.npyio.NpzFile) -> dict:
+    if "meta" not in archive:
+        raise DataError("not a repro dataset file (missing meta)")
+    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    if meta.get("format") != _FORMAT:
+        raise DataError(f"unrecognized dataset format {meta.get('format')!r}")
+    return meta
+
+
+def load_dataset(
+    path: str | os.PathLike[str],
+    storage_level: StorageLevel = StorageLevel.MEMORY,
+) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`.
+
+    Args:
+        path: The ``.npz`` file.
+        storage_level: Where the arrays should live (see module docs).
+
+    Returns:
+        The dataset; at DISK levels the CSR arrays are read-only
+        memory maps backed by the file.
+    """
+    if storage_level is StorageLevel.MEMORY:
+        with np.load(path) as archive:
+            meta = _read_meta(archive)
+            X = CSRMatrix(
+                archive["indptr"],
+                archive["indices"],
+                archive["data"],
+                (meta["n_rows"], meta["n_cols"]),
+            )
+            weights = archive["weights"] if meta["has_weights"] else None
+            return Dataset(X, archive["labels"], meta["name"], weights)
+
+    mapped = _mmap_npz(path)
+    with np.load(path) as archive:
+        meta = _read_meta(archive)
+        labels = archive["labels"].copy()
+        weights = archive["weights"].copy() if meta["has_weights"] else None
+    if storage_level is StorageLevel.MEMORY_AND_DISK:
+        indptr = np.array(mapped["indptr"])  # hot index structures in RAM
+        indices = np.array(mapped["indices"])
+    else:
+        indptr = mapped["indptr"]
+        indices = mapped["indices"]
+    X = CSRMatrix(indptr, indices, mapped["data"], (meta["n_rows"], meta["n_cols"]))
+    return Dataset(X, labels, meta["name"], weights)
+
+
+def _mmap_npz(path: str | os.PathLike[str]) -> dict[str, np.ndarray]:
+    """Memory-map the arrays inside an uncompressed ``.npz`` archive.
+
+    ``np.load(mmap_mode=...)`` does not map members of an archive, so
+    this walks the zip directory, checks each member is stored without
+    compression, and maps its data region directly.
+    """
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename.removesuffix(".npy")
+            if name == "meta":
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise DataError(
+                    f"member {name!r} is compressed; DISK storage needs an "
+                    "uncompressed archive (use save_dataset)"
+                )
+            with archive.open(info) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(member)
+                else:
+                    header = np.lib.format.read_array_header_2_0(member)
+                shape, fortran, dtype = header
+                # Bytes of npy magic + header consumed so far, relative
+                # to the member's data start inside the archive.
+                data_offset = member.tell()
+            # Absolute offset of the member's data within the zip file:
+            # local header size = 30 + len(filename) + len(extra field).
+            with open(path, "rb") as raw:
+                raw.seek(info.header_offset + 26)
+                name_len = int.from_bytes(raw.read(2), "little")
+                extra_len = int.from_bytes(raw.read(2), "little")
+            payload_offset = (
+                info.header_offset + 30 + name_len + extra_len + data_offset
+            )
+            out[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=payload_offset,
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return out

@@ -1,0 +1,590 @@
+"""Aggregation backends: how each system merges histograms and finds splits.
+
+A backend receives, node by node, the per-worker local gradient
+histograms in feature-major flat form, performs its system's aggregation
+(real data movement through :mod:`repro.cluster.collectives` or the
+parameter server), and later answers split queries for a whole layer —
+charging the simulated clock for every byte moved and every second of
+(measured) split-scan compute, attributed to the worker/server that would
+have performed it.
+
+With compression off, every backend produces bit-equal merged histograms
+(up to float summation order), so all five systems grow identical trees;
+the backends differ in *time*, which is the paper's claim.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..cluster.collectives import (
+    allreduce_binomial,
+    point_to_point_time,
+    reduce_scatter_halving,
+    reduce_to_coordinator,
+)
+from ..cluster.costmodel import CostParams, log2_steps
+from ..cluster.simclock import SimClock
+from ..config import ClusterConfig, TrainConfig
+from ..errors import TrainingError
+from ..ps.group import ParameterServerGroup
+from ..ps.partitioner import Partition
+from ..sketch.candidates import CandidateSet
+from ..tree.split import SplitDecision, best_split_in_range, combine_shard_decisions
+from ..utils.rng import spawn_rng
+from .scheduler import (
+    RoundRobinScheduler,
+    SingleAgentScheduler,
+    SpeedWeightedScheduler,
+)
+
+#: Registry of backend names in the paper's comparison order.
+BACKEND_NAMES = ("mllib", "xgboost", "lightgbm", "tencentboost", "dimboost")
+
+#: Bytes of one split decision on the wire (Section 6.3: one int + floats).
+DECISION_BYTES = 28
+
+
+def general_ps_push_time(
+    w: int, p: int, h: float, cost: CostParams, colocated: bool = True
+) -> float:
+    """PS aggregation time for ``w`` workers pushing ``h`` bytes to ``p`` servers.
+
+    Reduces to the Table 1 DimBoost row when ``p == w`` and co-located:
+    per-server inbound transfer ``(w-1) * h/p * beta``, batched per-worker
+    latency ``(p-1) * alpha``, and per-server merge ``w * h/p * gamma``.
+    """
+    if w < 1 or p < 1:
+        raise TrainingError(f"w and p must be >= 1, got w={w}, p={p}")
+    co = 1 if (colocated and p <= w) else 0
+    slice_h = h / p
+    return (
+        (w - co) * slice_h * cost.beta
+        + (p - co) * cost.alpha
+        + w * slice_h * cost.gamma
+    )
+
+
+class AggregationBackend(ABC):
+    """Base class wiring the shared layout knowledge.
+
+    Subclasses implement :meth:`aggregate_node` (merge one node's local
+    histograms, charging communication) and :meth:`find_splits` (decide
+    the splits of a whole layer, charging split-finding communication and
+    compute).
+    """
+
+    name: str = "abstract"
+    #: Whether this system's histogram construction scans densely
+    #: (Section 5.1: DimBoost is the first to exploit sparsity there).
+    dense_build: bool = True
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        config: TrainConfig,
+        candidates: CandidateSet,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.candidates = candidates
+        self.cost = CostParams(
+            cluster.network.alpha, cluster.network.beta, cluster.network.gamma
+        )
+        self.n_bins = candidates.max_bins
+        self.n_features = candidates.n_features
+        self.flat_len = 2 * self.n_features * self.n_bins
+        self.flat_bytes = self.flat_len * 4
+        self._tree_index = -1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_tree(self, tree_index: int) -> None:
+        """Reset per-tree state."""
+        self._tree_index = tree_index
+
+    @abstractmethod
+    def aggregate_node(
+        self, node: int, local_flats: list[np.ndarray], clock: SimClock
+    ) -> None:
+        """Merge one node's per-worker flat histograms."""
+
+    @abstractmethod
+    def find_splits(
+        self,
+        nodes: list[int],
+        feature_valid: np.ndarray | None,
+        clock: SimClock,
+    ) -> dict[int, SplitDecision | None]:
+        """Best split per node for an aggregated layer."""
+
+    def end_tree(self, clock: SimClock) -> None:
+        """Release per-tree storage (default: nothing)."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _scan_flat(
+        self, flat: np.ndarray, feature_valid: np.ndarray | None
+    ) -> SplitDecision | None:
+        """Whole-histogram split scan (Algorithm 1 lines 10-17)."""
+        return best_split_in_range(
+            flat,
+            0,
+            self.n_features,
+            self.candidates,
+            self.config.reg_lambda,
+            self.config.reg_gamma,
+            self.config.min_child_weight,
+            feature_valid,
+        )
+
+    def _charge_decision_broadcast(self, clock: SimClock, n_nodes: int) -> None:
+        """Ship the (tiny) split decisions to all workers."""
+        w = self.cluster.n_workers
+        clock.advance_comm(
+            (w - 1) * point_to_point_time(n_nodes * DECISION_BYTES, self.cost)
+            if w > 1
+            else 0.0,
+            phase="FIND_SPLIT",
+        )
+
+
+class MLlibBackend(AggregationBackend):
+    """All-to-one reduce; the coordinator finds every split (Section 2.3).
+
+    "statistics are collected to a particular worker node via a
+    reduceByKey operator" and "statistics aggregation is the bottleneck".
+    """
+
+    name = "mllib"
+    dense_build = True
+
+    def __init__(self, cluster, config, candidates) -> None:
+        super().__init__(cluster, config, candidates)
+        self._merged: dict[int, np.ndarray] = {}
+
+    def aggregate_node(self, node, local_flats, clock) -> None:
+        merged, stats = reduce_to_coordinator(local_flats, self.cost)
+        clock.advance_comm(stats.sim_seconds, phase="FIND_SPLIT")
+        self._merged[node] = merged
+
+    def find_splits(self, nodes, feature_valid, clock):
+        decisions: dict[int, SplitDecision | None] = {}
+        started = time.perf_counter()
+        for node in nodes:
+            decisions[node] = self._scan_flat(self._merged.pop(node), feature_valid)
+        # One coordinator scans every node serially: no parallelism.
+        clock.advance_compute(time.perf_counter() - started, phase="FIND_SPLIT")
+        self._charge_decision_broadcast(clock, len(nodes))
+        return decisions
+
+
+class XGBoostBackend(AggregationBackend):
+    """Binomial-tree AllReduce; the root worker finds splits (Section 2.3)."""
+
+    name = "xgboost"
+    dense_build = True
+
+    def __init__(self, cluster, config, candidates) -> None:
+        super().__init__(cluster, config, candidates)
+        self._merged: dict[int, np.ndarray] = {}
+
+    def aggregate_node(self, node, local_flats, clock) -> None:
+        merged, stats = allreduce_binomial(local_flats, self.cost)
+        clock.advance_comm(stats.sim_seconds, phase="FIND_SPLIT")
+        self._merged[node] = merged
+
+    def find_splits(self, nodes, feature_valid, clock):
+        decisions: dict[int, SplitDecision | None] = {}
+        started = time.perf_counter()
+        for node in nodes:
+            decisions[node] = self._scan_flat(self._merged.pop(node), feature_valid)
+        clock.advance_compute(time.perf_counter() - started, phase="FIND_SPLIT")
+        # Up-bottom broadcast of the model update along the tree.
+        w = self.cluster.n_workers
+        clock.advance_comm(
+            log2_steps(w)
+            * point_to_point_time(len(nodes) * DECISION_BYTES, self.cost),
+            phase="FIND_SPLIT",
+        )
+        return decisions
+
+
+class LightGBMBackend(AggregationBackend):
+    """Recursive-halving ReduceScatter; distributed split finding.
+
+    Each worker ends the aggregation owning a fully merged feature range
+    and finds the best split within it; the per-range optima (tiny) are
+    allgathered and the global maximum chosen — LightGBM's data-parallel
+    voting-free protocol.
+    """
+
+    name = "lightgbm"
+    dense_build = True
+
+    def __init__(self, cluster, config, candidates) -> None:
+        super().__init__(cluster, config, candidates)
+        if self.n_features < cluster.n_workers:
+            raise TrainingError(
+                "LightGBM backend needs at least one feature per worker "
+                f"(features={self.n_features}, workers={cluster.n_workers})"
+            )
+        self._owned: dict[int, tuple[list[np.ndarray | None], dict[int, tuple[int, int]]]] = {}
+
+    def aggregate_node(self, node, local_flats, clock) -> None:
+        owned, stats = reduce_scatter_halving(
+            local_flats, self.cost, align=2 * self.n_bins
+        )
+        clock.advance_comm(stats.sim_seconds, phase="FIND_SPLIT")
+        self._owned[node] = (owned, stats.segments)
+
+    def find_splits(self, nodes, feature_valid, clock):
+        per_worker_seconds = [0.0] * self.cluster.n_workers
+        decisions: dict[int, SplitDecision | None] = {}
+        block = 2 * self.n_bins
+        for node in nodes:
+            owned, segments = self._owned.pop(node)
+            shard_decisions: list[SplitDecision | None] = []
+            for worker_id, (lo, hi) in segments.items():
+                started = time.perf_counter()
+                shard_decisions.append(
+                    best_split_in_range(
+                        owned[worker_id],
+                        lo // block,
+                        hi // block,
+                        self.candidates,
+                        self.config.reg_lambda,
+                        self.config.reg_gamma,
+                        self.config.min_child_weight,
+                        feature_valid,
+                    )
+                )
+                per_worker_seconds[worker_id] += time.perf_counter() - started
+            decisions[node] = combine_shard_decisions(shard_decisions)
+        # Workers scan their ranges in parallel; barrier on the slowest.
+        clock.barrier(
+            [
+                seconds / self.cluster.speed_of(wid)
+                for wid, seconds in enumerate(per_worker_seconds)
+            ],
+            phase="FIND_SPLIT",
+        )
+        # Allgather of the per-range optima: log w exchange steps of tiny
+        # messages, as in the halving topology run backwards.
+        clock.advance_comm(
+            log2_steps(self.cluster.n_workers)
+            * point_to_point_time(len(nodes) * DECISION_BYTES, self.cost),
+            phase="FIND_SPLIT",
+        )
+        return decisions
+
+
+class TencentBoostBackend(AggregationBackend):
+    """Parameter server without DimBoost's FIND_SPLIT optimizations.
+
+    TencentBoost "simply applies the parameter server architecture to
+    GBDT" (Section 8): histograms are pushed to servers (efficient
+    aggregation), but one leader worker pulls every node's *full* merged
+    histogram back and finds all splits itself — no scheduler, no
+    two-phase split, no compression.
+    """
+
+    name = "tencentboost"
+    dense_build = True
+
+    def __init__(self, cluster, config, candidates) -> None:
+        super().__init__(cluster, config, candidates)
+        self.group = ParameterServerGroup(cluster.n_servers)
+        self.group.register(
+            "grad_hist",
+            self.flat_len,
+            align=2 * self.n_bins,
+        )
+
+    def aggregate_node(self, node, local_flats, clock) -> None:
+        for flat in local_flats:
+            self.group.push_row("grad_hist", node, flat)
+        clock.advance_comm(
+            general_ps_push_time(
+                len(local_flats),
+                self.cluster.n_servers,
+                self.flat_bytes,
+                self.cost,
+                self.cluster.colocated,
+            ),
+            phase="FIND_SPLIT",
+        )
+
+    def find_splits(self, nodes, feature_valid, clock):
+        decisions: dict[int, SplitDecision | None] = {}
+        p = self.cluster.n_servers
+        leader_seconds = 0.0
+        for node in nodes:
+            flat, _stats = self.group.pull_row("grad_hist", node)
+            # Full-histogram pull serialized at the leader's NIC.
+            clock.advance_comm(
+                p * self.cost.alpha + self.flat_bytes * self.cost.beta,
+                phase="FIND_SPLIT",
+            )
+            started = time.perf_counter()
+            decisions[node] = self._scan_flat(flat, feature_valid)
+            leader_seconds += time.perf_counter() - started
+            self.group.clear_row("grad_hist", node)
+        clock.advance_compute(leader_seconds, phase="FIND_SPLIT")
+        self._charge_decision_broadcast(clock, len(nodes))
+        return decisions
+
+
+class DimBoostBackend(AggregationBackend):
+    """The full DimBoost FIND_SPLIT pipeline (Sections 6.1-6.3).
+
+    Compression detail: Algorithm 2 accumulates the exact gradient sums
+    ``sum_g, sum_h`` and only folds them into the zero buckets at the
+    end.  Every feature's hessian zero bucket therefore carries O(N)
+    mass while ordinary buckets carry O(N * z / (M * K)) — quantizing
+    the folded histogram would set the fixed-point scale ``|c|`` from
+    the giant zero buckets and drown every other bucket in noise.  So
+    when compression is on, workers push the *pre-fold* histogram (all
+    buckets small, high SNR) plus the two exact sums, and the zero
+    buckets are re-folded from the aggregated node totals at split time.
+    With compression off the folded histogram is pushed directly, which
+    keeps bit-identical parity with the other backends.
+
+    Args:
+        use_scheduler: Round-robin node assignment (True) or the naive
+            single-agent strategy (False) — Table 3's scheduler ablation.
+        two_phase: Server-side split UDF + tiny replies (True) or full
+            histogram pulls by the responsible worker (False).
+        compression_bits: Fixed-point width for pushed histograms
+            (0 disables compression).
+    """
+
+    name = "dimboost"
+    dense_build = False  # sparsity-aware histogram construction (C3)
+
+    def __init__(
+        self,
+        cluster,
+        config,
+        candidates,
+        use_scheduler: bool = True,
+        two_phase: bool = True,
+        compression_bits: int | None = None,
+        speed_aware_scheduler: bool = False,
+    ) -> None:
+        super().__init__(cluster, config, candidates)
+        self.group = ParameterServerGroup(cluster.n_servers)
+        self.group.register("grad_hist", self.flat_len, align=2 * self.n_bins)
+        self.use_scheduler = use_scheduler
+        self.two_phase = two_phase
+        self.compression_bits = (
+            config.compression_bits if compression_bits is None else compression_bits
+        )
+        if not use_scheduler:
+            self.scheduler = SingleAgentScheduler(cluster.n_workers)
+        elif speed_aware_scheduler:
+            speeds = [cluster.speed_of(wid) for wid in range(cluster.n_workers)]
+            self.scheduler = SpeedWeightedScheduler(cluster.n_workers, speeds)
+        else:
+            self.scheduler = RoundRobinScheduler(cluster.n_workers)
+        self._push_bytes: dict[int, list[int]] = {}
+        # Flat slots of every feature's zero bucket (g and h halves).
+        block = 2 * self.n_bins
+        self._zero_slots_g = (
+            np.arange(self.n_features, dtype=np.int64) * block
+            + candidates.zero_bins.astype(np.int64)
+        )
+        self._zero_slots_h = self._zero_slots_g + self.n_bins
+        #: Aggregated exact (sum_g, sum_h) per node, refolded at split time.
+        self._node_sums: dict[int, tuple[float, float]] = {}
+
+    def begin_tree(self, tree_index: int) -> None:
+        super().begin_tree(tree_index)
+        self._node_sums.clear()
+
+    def _unfold_zero_buckets(self, flat: np.ndarray) -> tuple[np.ndarray, float, float]:
+        """Remove the Algorithm 2 zero-bucket fold from a local histogram.
+
+        Returns (pre-fold flat copy, sum_g, sum_h); the sums travel as two
+        exact floats alongside the compressed payload.
+        """
+        sum_g = float(flat[: self.n_bins].sum())  # any feature row's total
+        sum_h = float(flat[self.n_bins : 2 * self.n_bins].sum())
+        unfolded = np.array(flat, dtype=np.float64, copy=True)
+        unfolded[self._zero_slots_g] -= sum_g
+        unfolded[self._zero_slots_h] -= sum_h
+        return unfolded, sum_g, sum_h
+
+    def _fold_zero_buckets(
+        self, flat: np.ndarray, lo: int, hi: int, sum_g: float, sum_h: float
+    ) -> np.ndarray:
+        """Re-apply the zero-bucket fold over feature range ``[lo, hi)``
+        elements of the stored (pre-fold) histogram."""
+        block = 2 * self.n_bins
+        f_lo = lo // block
+        f_hi = hi // block
+        folded = np.array(flat, dtype=np.float64, copy=True)
+        folded[self._zero_slots_g[f_lo:f_hi] - lo] += sum_g
+        folded[self._zero_slots_h[f_lo:f_hi] - lo] += sum_h
+        return folded
+
+    def aggregate_node(self, node, local_flats, clock) -> None:
+        pushed: list[int] = []
+        total_g = 0.0
+        total_h = 0.0
+        for worker_id, flat in enumerate(local_flats):
+            if self.compression_bits:
+                rng = spawn_rng(
+                    self.config.seed, "lowprec", self._tree_index, node, worker_id
+                )
+                flat, sum_g, sum_h = self._unfold_zero_buckets(flat)
+                total_g += sum_g
+                total_h += sum_h
+            else:
+                rng = None
+            stats = self.group.push_row(
+                "grad_hist",
+                node,
+                flat,
+                compression_bits=self.compression_bits,
+                rng=rng,
+                # One scale per per-feature g/h histogram (Section 6.1's
+                # "the maximal absolute value in the histogram").
+                compression_block=self.n_bins,
+            )
+            pushed.append(stats.bytes_up + (8 if self.compression_bits else 0))
+        if self.compression_bits:
+            self._node_sums[node] = (total_g, total_h)
+        # Charge the batched PS scatter with the *actual* wire bytes, so
+        # compression directly shrinks the transfer term.
+        avg_bytes = sum(pushed) / len(pushed)
+        clock.advance_comm(
+            general_ps_push_time(
+                len(local_flats),
+                self.cluster.n_servers,
+                avg_bytes,
+                self.cost,
+                self.cluster.colocated,
+            ),
+            phase="FIND_SPLIT",
+        )
+        self._push_bytes[node] = pushed
+
+    def _make_udf(self, feature_valid: np.ndarray | None, node: int):
+        """Server-side split UDF over one stored feature range of ``node``."""
+        block = 2 * self.n_bins
+        candidates = self.candidates
+        config = self.config
+        sums = self._node_sums.get(node)
+
+        def udf(values: np.ndarray, partition: Partition) -> SplitDecision | None:
+            if sums is not None:
+                values = self._fold_zero_buckets(
+                    values, partition.lo, partition.hi, sums[0], sums[1]
+                )
+            return best_split_in_range(
+                values,
+                partition.lo // block,
+                partition.hi // block,
+                candidates,
+                config.reg_lambda,
+                config.reg_gamma,
+                config.min_child_weight,
+                feature_valid,
+            )
+
+        return udf
+
+    def find_splits(self, nodes, feature_valid, clock):
+        assignment = self.scheduler.assign(nodes)
+        decisions: dict[int, SplitDecision | None] = {}
+        per_worker_seconds = [0.0] * self.cluster.n_workers
+        p = self.cluster.n_servers
+
+        for worker_id, its_nodes in assignment.items():
+            comm_seconds = 0.0
+            for node in its_nodes:
+                if self.two_phase:
+                    udf = self._make_udf(feature_valid, node)
+                    started = time.perf_counter()
+                    results, _stats = self.group.pull_row_udf(
+                        "grad_hist", node, udf, result_bytes=DECISION_BYTES
+                    )
+                    scan_wall = time.perf_counter() - started
+                    decisions[node] = combine_shard_decisions(
+                        [decision for _part, decision in results]
+                    )
+                    # The p servers scan their ranges concurrently; the
+                    # in-process wall time covers all of them, so one
+                    # server's share is wall / p.
+                    per_worker_seconds[worker_id] += scan_wall / p
+                    comm_seconds += p * point_to_point_time(DECISION_BYTES, self.cost)
+                else:
+                    flat, _stats = self.group.pull_row("grad_hist", node)
+                    comm_seconds += p * self.cost.alpha + (
+                        self.flat_bytes * self.cost.beta
+                    )
+                    sums = self._node_sums.get(node)
+                    if sums is not None:
+                        flat = self._fold_zero_buckets(
+                            flat, 0, self.flat_len, sums[0], sums[1]
+                        )
+                    started = time.perf_counter()
+                    decisions[node] = self._scan_flat(flat, feature_valid)
+                    per_worker_seconds[worker_id] += time.perf_counter() - started
+                self.group.clear_row("grad_hist", node)
+            # Each worker's pulls serialize at its own NIC but run in
+            # parallel across workers — fold into its compute lane so the
+            # barrier below models the round-robin balancing.
+            per_worker_seconds[worker_id] += comm_seconds
+        clock.barrier(
+            [
+                seconds / self.cluster.speed_of(wid)
+                for wid, seconds in enumerate(per_worker_seconds)
+            ],
+            phase="FIND_SPLIT",
+        )
+        # Responsible workers push results to the PS; everyone pulls them.
+        w = self.cluster.n_workers
+        clock.advance_comm(
+            point_to_point_time(len(nodes) * DECISION_BYTES, self.cost)
+            + (w - 1) * point_to_point_time(len(nodes) * DECISION_BYTES, self.cost)
+            if w > 1
+            else 0.0,
+            phase="FIND_SPLIT",
+        )
+        self._push_bytes.clear()
+        return decisions
+
+
+_BACKENDS = {
+    MLlibBackend.name: MLlibBackend,
+    XGBoostBackend.name: XGBoostBackend,
+    LightGBMBackend.name: LightGBMBackend,
+    TencentBoostBackend.name: TencentBoostBackend,
+    DimBoostBackend.name: DimBoostBackend,
+}
+
+
+def make_backend(
+    system: str,
+    cluster: ClusterConfig,
+    config: TrainConfig,
+    candidates: CandidateSet,
+    **kwargs,
+) -> AggregationBackend:
+    """Instantiate a backend by system name (see ``BACKEND_NAMES``)."""
+    try:
+        backend_cls = _BACKENDS[system]
+    except KeyError as exc:
+        raise TrainingError(
+            f"unknown system {system!r}; expected one of {BACKEND_NAMES}"
+        ) from exc
+    return backend_cls(cluster, config, candidates, **kwargs)

@@ -1,0 +1,548 @@
+"""The distributed training engine (Section 4.4's worker execution).
+
+One engine drives all five systems through the per-layer core operation:
+
+1. partition the data over workers (DATA PARTITIONING),
+2. propose split candidates from quantile summaries (CREATE_SKETCH /
+   PULL_SKETCH),
+3. per tree: compute gradients (NEW_TREE), build per-worker node
+   histograms (BUILD_HISTOGRAM), aggregate + find splits through the
+   system's backend (FIND_SPLIT), split the trees via the node-to-
+   instance indexes (SPLIT_TREE), and
+4. emit the model (FINISH).
+
+Time model: the workers' *computation* is measured for real (wall-clock
+of the actual numpy kernels, with a barrier charging the slowest worker
+of each phase), *communication* is charged by the cost model with real
+byte counts, and *loading* is the shard bytes over a configured ingest
+rate.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..boosting.losses import get_loss
+from ..boosting.metrics import error_rate
+from ..boosting.model import GBDTModel
+from ..cluster.costmodel import CostParams
+from ..cluster.simclock import SimClock
+from ..config import ClusterConfig, TrainConfig
+from ..datasets.dataset import Dataset
+from ..datasets.partition import partition_rows
+from ..errors import TrainingError
+from ..histogram.binned import BinnedShard
+from ..histogram.builder import (
+    build_node_histogram_dense,
+    build_node_histogram_sparse,
+)
+from ..histogram.index import NodeInstanceIndex
+from ..histogram.parallel import build_histogram_batched
+from ..ps.master import Master, WorkerPhase
+from ..sketch.candidates import (
+    CandidateSet,
+    propose_candidates,
+    propose_candidates_from_sketches,
+)
+from ..sketch.quantile import GKSketch, sketch_columns
+from ..tree.split import leaf_weight
+from ..tree.tree import RegressionTree
+from ..utils.rng import spawn_rng
+from ..utils.timing import TimeBreakdown
+from .backends import AggregationBackend, general_ps_push_time, make_backend
+from ..boosting.gbdt import sample_features
+
+#: Simulated HDFS ingest rate for the loading phase (bytes/second).
+LOADING_BYTES_PER_SECOND = 200e6
+
+#: Approximate wire bytes per quantile-sketch entry (value + rank bounds).
+SKETCH_ENTRY_BYTES = 16
+
+
+@dataclass
+class RoundRecord:
+    """Per-tree telemetry of a distributed run.
+
+    ``sim_elapsed`` is the cluster time (loading + computation barriers +
+    simulated communication) when the tree finished — the x-axis of the
+    paper's convergence plots.
+    """
+
+    tree_index: int
+    sim_elapsed: float
+    train_loss: float
+    train_error: float
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a distributed training run.
+
+    Attributes:
+        model: The trained ensemble (identical across workers).
+        system: Backend name.
+        breakdown: loading / computation / communication decomposition.
+        rounds: Per-tree convergence telemetry.
+        phases: Simulated seconds charged per worker phase
+            (CREATE_SKETCH ... SPLIT_TREE) — the Table 3 style view.
+        sim_seconds: Total simulated cluster time.
+    """
+
+    model: GBDTModel
+    system: str
+    breakdown: TimeBreakdown
+    rounds: list[RoundRecord] = field(default_factory=list)
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total simulated cluster time."""
+        return self.breakdown.total
+
+
+class DistributedGBDT:
+    """Distributed GBDT trainer over the simulated cluster.
+
+    Args:
+        system: One of ``BACKEND_NAMES`` ("dimboost", "xgboost", ...).
+        cluster: Cluster shape and network constants.
+        config: GBDT hyper-parameters.
+        sparse_build: Override the backend's histogram-build mode (the
+            paper's baselines scan densely; DimBoost uses Algorithm 2).
+        use_index: Node-to-instance index on workers (ablation hook).
+        batched_build: Parallel batch construction with the simulated
+            span accounting (Section 5.2).
+        distributed_sketch: Build candidates from per-worker GK sketches
+            merged on the PS (the faithful CREATE_SKETCH path) instead of
+            exact global quantiles.  Exact is the default because both
+            paths yield near-identical candidates and the exact path keeps
+            the cross-system tree-identity guarantee.
+        backend_kwargs: Extra arguments for the backend (e.g. DimBoost's
+            ``two_phase=False`` ablation).
+    """
+
+    def __init__(
+        self,
+        system: str = "dimboost",
+        cluster: ClusterConfig | None = None,
+        config: TrainConfig | None = None,
+        sparse_build: bool | None = None,
+        use_index: bool = True,
+        batched_build: bool = False,
+        distributed_sketch: bool = False,
+        **backend_kwargs,
+    ) -> None:
+        self.system = system
+        self.cluster = cluster if cluster is not None else ClusterConfig()
+        self.config = config if config is not None else TrainConfig()
+        self._sparse_build_override = sparse_build
+        self.use_index = use_index
+        self.batched_build = batched_build
+        self.distributed_sketch = distributed_sketch
+        self._backend_kwargs = backend_kwargs
+        self.cost = CostParams(
+            self.cluster.network.alpha,
+            self.cluster.network.beta,
+            self.cluster.network.gamma,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def fit(self, train: Dataset) -> DistributedResult:
+        """Train on ``train`` and return the model plus time accounting."""
+        config = self.config
+        cluster = self.cluster
+        loss = get_loss(config.loss)
+        clock = SimClock()
+        master = Master(cluster.n_workers)
+
+        # DATA PARTITIONING + loading: shard bytes over the ingest rate,
+        # workers load in parallel (max shard).
+        shards_data = partition_rows(train, cluster.n_workers)
+        loading = max(s.X.nbytes for s in shards_data) / LOADING_BYTES_PER_SECOND
+
+        # CREATE_SKETCH / PULL_SKETCH.
+        for wid in range(cluster.n_workers):
+            master.enter_phase(wid, WorkerPhase.CREATE_SKETCH)
+        candidates = self._propose_candidates(train, shards_data, clock)
+        for wid in range(cluster.n_workers):
+            master.enter_phase(wid, WorkerPhase.PULL_SKETCH)
+
+        backend = make_backend(
+            self.system, cluster, config, candidates, **self._backend_kwargs
+        )
+        sparse_build = (
+            not backend.dense_build
+            if self._sparse_build_override is None
+            else self._sparse_build_override
+        )
+
+        # Pre-bucketize every shard (part of loading/ETL; measured).
+        started = time.perf_counter()
+        shards = [BinnedShard(s.X, candidates) for s in shards_data]
+        loading += (time.perf_counter() - started) / cluster.n_workers
+
+        labels = [np.asarray(s.y, dtype=np.float64) for s in shards_data]
+        weights = [
+            s.weights if s.weights is not None else None for s in shards_data
+        ]
+        base = loss.base_score(train.y, train.weights)
+        raws = [np.full(s.n_rows, base, dtype=np.float64) for s in shards]
+
+        trees: list[RegressionTree] = []
+        rounds: list[RoundRecord] = []
+
+        for t in range(config.n_trees):
+            backend.begin_tree(t)
+            for wid in range(cluster.n_workers):
+                master.enter_phase(wid, WorkerPhase.NEW_TREE)
+            grads, hesses = self._compute_gradients(
+                loss, labels, raws, weights, clock
+            )
+            # The leader samples features and publishes the mask via the
+            # PS (tiny; every worker derives the same mask from the seed).
+            mask = sample_features(
+                train.n_features,
+                config.feature_sample_ratio,
+                spawn_rng(config.seed, "feature_sampling", t),
+            )
+
+            tree, leaf_assignments = self._grow_tree(
+                backend, shards, grads, hesses, mask, clock, master
+            )
+            trees.append(tree)
+            backend.end_tree(clock)
+
+            for wid in range(cluster.n_workers):
+                raws[wid] += tree.weight[leaf_assignments[wid]]
+            rounds.append(
+                self._record_round(t, loss, labels, raws, loading, clock)
+            )
+
+        for wid in range(cluster.n_workers):
+            master.enter_phase(wid, WorkerPhase.FINISH)
+
+        model = GBDTModel(
+            trees=trees,
+            base_score=base,
+            loss_name=config.loss,
+            n_features=train.n_features,
+        )
+        breakdown = TimeBreakdown(
+            loading=loading,
+            computation=clock.computation,
+            communication=clock.communication,
+        )
+        return DistributedResult(
+            model=model,
+            system=self.system,
+            breakdown=breakdown,
+            rounds=rounds,
+            phases=clock.by_phase(),
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _apply_speeds(self, per_worker_seconds: list[float]) -> list[float]:
+        """Scale measured per-worker compute by each worker's speed."""
+        return [
+            seconds / self.cluster.speed_of(wid)
+            for wid, seconds in enumerate(per_worker_seconds)
+        ]
+
+    def _propose_candidates(
+        self,
+        train: Dataset,
+        shards_data: list[Dataset],
+        clock: SimClock,
+    ) -> CandidateSet:
+        """Candidate proposal with sketch communication charged.
+
+        The wire cost is the same for both paths: every worker pushes one
+        summary per feature and pulls the merged ones back.
+        """
+        config = self.config
+        cluster = self.cluster
+
+        def charge_sketch_comm(sketch_bytes: float) -> None:
+            clock.advance_comm(
+                general_ps_push_time(
+                    cluster.n_workers,
+                    cluster.n_servers,
+                    sketch_bytes,
+                    self.cost,
+                    cluster.colocated,
+                ),
+                phase="CREATE_SKETCH",
+            )
+            # Pull of the merged sketches by every worker.
+            clock.advance_comm(
+                cluster.n_servers * self.cost.alpha
+                + sketch_bytes * self.cost.beta,
+                phase="PULL_SKETCH",
+            )
+
+        if not self.distributed_sketch:
+            # Exact path: charge the modelled summary size per feature.
+            entries_per_sketch = int(1.0 / (2.0 * config.sketch_eps)) + 2
+            charge_sketch_comm(
+                train.n_features * entries_per_sketch * SKETCH_ENTRY_BYTES
+            )
+            return propose_candidates(train.X, config.n_split_candidates)
+
+        per_worker_seconds = []
+        per_worker_bytes = []
+        merged: list[GKSketch] | None = None
+        for shard in shards_data:
+            started = time.perf_counter()
+            local = sketch_columns(
+                shard.X.indptr,
+                shard.X.indices,
+                shard.X.data,
+                shard.n_features,
+                eps=config.sketch_eps / 2.0,
+            )
+            per_worker_seconds.append(time.perf_counter() - started)
+            per_worker_bytes.append(sum(sk.wire_bytes for sk in local))
+            if merged is None:
+                merged = local
+            else:
+                merged = [a.merge(b) for a, b in zip(merged, local)]
+        # Real wire accounting: what a worker's serialized sketches weigh.
+        charge_sketch_comm(max(per_worker_bytes))
+        clock.barrier(self._apply_speeds(per_worker_seconds), phase="CREATE_SKETCH")
+        assert merged is not None  # n_workers >= 1
+        return propose_candidates_from_sketches(merged, config.n_split_candidates)
+
+    def _compute_gradients(
+        self,
+        loss,
+        labels: list[np.ndarray],
+        raws: list[np.ndarray],
+        weights: list[np.ndarray | None],
+        clock: SimClock,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        grads, hesses, seconds = [], [], []
+        for y, raw, w in zip(labels, raws, weights):
+            started = time.perf_counter()
+            g, h = loss.gradients(y, raw, w)
+            grads.append(g)
+            hesses.append(h)
+            seconds.append(time.perf_counter() - started)
+        clock.barrier(self._apply_speeds(seconds), phase="NEW_TREE")
+        return grads, hesses
+
+    def _build_node_histograms(
+        self,
+        shards: list[BinnedShard],
+        indexes: list[NodeInstanceIndex],
+        grads: list[np.ndarray],
+        hesses: list[np.ndarray],
+        node: int,
+        sparse_build: bool,
+        per_worker_seconds: list[float],
+    ) -> list[np.ndarray]:
+        """One node's local histograms, feature-major flat, per worker."""
+        config = self.config
+        flats = []
+        for wid, shard in enumerate(shards):
+            rows = indexes[wid].rows_of(node)
+            started = time.perf_counter()
+            if self.batched_build:
+                kernel = (
+                    build_node_histogram_sparse
+                    if sparse_build
+                    else build_node_histogram_dense
+                )
+                result = build_histogram_batched(
+                    shard,
+                    rows,
+                    grads[wid],
+                    hesses[wid],
+                    batch_size=config.batch_size,
+                    n_threads=config.n_threads,
+                    kernel=kernel,
+                )
+                histogram = result.histogram
+                # Charge the simulated multi-core span, not the serial wall.
+                per_worker_seconds[wid] += result.span_seconds
+            elif sparse_build:
+                histogram = build_node_histogram_sparse(
+                    shard, rows, grads[wid], hesses[wid]
+                )
+                per_worker_seconds[wid] += time.perf_counter() - started
+            else:
+                histogram = build_node_histogram_dense(
+                    shard, rows, grads[wid], hesses[wid]
+                )
+                per_worker_seconds[wid] += time.perf_counter() - started
+            flats.append(histogram.to_flat_feature_major())
+        return flats
+
+    def _grow_tree(
+        self,
+        backend: AggregationBackend,
+        shards: list[BinnedShard],
+        grads: list[np.ndarray],
+        hesses: list[np.ndarray],
+        feature_valid: np.ndarray,
+        clock: SimClock,
+        master: Master,
+    ) -> tuple[RegressionTree, list[np.ndarray]]:
+        config = self.config
+        cluster = self.cluster
+        sparse_build = (
+            not backend.dense_build
+            if self._sparse_build_override is None
+            else self._sparse_build_override
+        )
+        tree = RegressionTree(config.max_depth)
+        indexes = [
+            NodeInstanceIndex(shard.n_rows, config.max_nodes) for shard in shards
+        ]
+
+        # Root totals: each worker contributes two floats (tiny push).
+        total_g = float(sum(g.sum() for g in grads))
+        total_h = float(sum(h.sum() for h in hesses))
+        clock.advance_comm(
+            general_ps_push_time(
+                cluster.n_workers, cluster.n_servers, 16, self.cost, cluster.colocated
+            ),
+            phase="NEW_TREE",
+        )
+        node_totals: dict[int, tuple[float, float]] = {0: (total_g, total_h)}
+
+        active = [0]
+        eta = config.learning_rate
+        for depth in range(1, config.max_depth + 1):
+            if not active:
+                break
+            if depth == config.max_depth:
+                for node in active:
+                    g, h = node_totals[node]
+                    tree.set_leaf(
+                        node,
+                        eta * leaf_weight(g, h, config.reg_lambda),
+                        cover=float(h),
+                    )
+                active = []
+                break
+
+            # BUILD_HISTOGRAM for the whole layer.
+            for wid in range(cluster.n_workers):
+                master.enter_phase(wid, WorkerPhase.BUILD_HISTOGRAM)
+            per_worker_seconds = [0.0] * cluster.n_workers
+            for node in active:
+                flats = self._build_node_histograms(
+                    shards,
+                    indexes,
+                    grads,
+                    hesses,
+                    node,
+                    sparse_build,
+                    per_worker_seconds,
+                )
+                backend.aggregate_node(node, flats, clock)
+            clock.barrier(
+                self._apply_speeds(per_worker_seconds), phase="BUILD_HISTOGRAM"
+            )
+
+            # FIND_SPLIT.
+            for wid in range(cluster.n_workers):
+                master.enter_phase(wid, WorkerPhase.FIND_SPLIT)
+            decisions = backend.find_splits(active, feature_valid, clock)
+
+            # SPLIT_TREE.
+            for wid in range(cluster.n_workers):
+                master.enter_phase(wid, WorkerPhase.SPLIT_TREE)
+            next_active: list[int] = []
+            split_seconds = [0.0] * cluster.n_workers
+            for node in active:
+                decision = decisions.get(node)
+                if decision is None or decision.gain <= config.min_split_gain:
+                    g, h = node_totals[node]
+                    tree.set_leaf(
+                        node,
+                        eta * leaf_weight(g, h, config.reg_lambda),
+                        cover=float(h),
+                    )
+                    continue
+                left, right = tree.set_split(
+                    node,
+                    decision.feature,
+                    decision.value,
+                    gain=decision.gain,
+                    cover=decision.total_hess,
+                )
+                node_totals[left] = (decision.left_grad, decision.left_hess)
+                node_totals[right] = (decision.right_grad, decision.right_hess)
+                for wid, shard in enumerate(shards):
+                    rows = indexes[wid].rows_of(node)
+                    started = time.perf_counter()
+                    goes_left = shard.split_mask(
+                        rows, decision.feature, decision.bucket
+                    )
+                    indexes[wid].split(node, goes_left)
+                    split_seconds[wid] += time.perf_counter() - started
+                next_active.extend((left, right))
+            clock.barrier(self._apply_speeds(split_seconds), phase="SPLIT_TREE")
+            active = next_active
+
+        # Leaf assignment per worker from its index (free predictions).
+        leaf_assignments = []
+        for wid, shard in enumerate(shards):
+            assignment = np.zeros(shard.n_rows, dtype=np.int64)
+            for node in range(tree.max_nodes):
+                if tree.is_leaf(node) and indexes[wid].has_node(node):
+                    assignment[indexes[wid].rows_of(node)] = node
+            leaf_assignments.append(assignment)
+        return tree, leaf_assignments
+
+    def _record_round(
+        self,
+        t: int,
+        loss,
+        labels: list[np.ndarray],
+        raws: list[np.ndarray],
+        loading: float,
+        clock: SimClock,
+    ) -> RoundRecord:
+        """Global train loss/error (observability only; not charged)."""
+        y_all = np.concatenate(labels)
+        raw_all = np.concatenate(raws)
+        if loss.name == "logistic":
+            err = error_rate(y_all, loss.transform(raw_all))
+        else:
+            err = loss.loss(y_all, raw_all)
+        return RoundRecord(
+            tree_index=t,
+            sim_elapsed=loading + clock.time,
+            train_loss=loss.loss(y_all, raw_all),
+            train_error=err,
+        )
+
+
+def train_distributed(
+    system: str,
+    train: Dataset,
+    cluster: ClusterConfig | None = None,
+    config: TrainConfig | None = None,
+    **kwargs,
+) -> DistributedResult:
+    """One-call convenience: build the trainer and fit.
+
+    Example::
+
+        result = train_distributed("dimboost", dataset,
+                                   ClusterConfig(n_workers=8, n_servers=8))
+        print(result.sim_seconds, result.breakdown.as_dict())
+    """
+    trainer = DistributedGBDT(system, cluster, config, **kwargs)
+    return trainer.fit(train)

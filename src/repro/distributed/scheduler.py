@@ -1,0 +1,154 @@
+"""Round-robin task scheduler over the tree-node state array (Section 6.2).
+
+"Each worker uses a 'state array' to store the 'state' of each tree
+node, where the (2i+1)-th item and the (2i+2)-th item are the child
+nodes of the i-th item.  Each worker scans this state array and finds
+responsible active nodes according to a round-robin strategy ... the
+i-th active tree node is assigned to the (i mod w)-th worker."
+
+The naive alternative the paper rejects — one agent worker handling all
+active nodes — is kept as :class:`SingleAgentScheduler` for the Table 3
+ablation.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+class NodeState(IntEnum):
+    """Lifecycle of a tree-node slot in the state array."""
+
+    INACTIVE = 0
+    ACTIVE = 1
+    SPLIT = 2
+    LEAF = 3
+
+
+class StateArray:
+    """The heap-indexed per-node state array every worker keeps."""
+
+    def __init__(self, max_nodes: int) -> None:
+        if max_nodes < 1:
+            raise TrainingError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.states = np.full(max_nodes, NodeState.INACTIVE, dtype=np.int8)
+
+    @property
+    def max_nodes(self) -> int:
+        """Number of node slots."""
+        return len(self.states)
+
+    def set_state(self, node: int, state: NodeState) -> None:
+        """Record a node's new state."""
+        if not 0 <= node < self.max_nodes:
+            raise TrainingError(f"node {node} out of range [0, {self.max_nodes})")
+        self.states[node] = state
+
+    def state_of(self, node: int) -> NodeState:
+        """Current state of a node slot."""
+        if not 0 <= node < self.max_nodes:
+            raise TrainingError(f"node {node} out of range [0, {self.max_nodes})")
+        return NodeState(self.states[node])
+
+    def active_nodes(self) -> list[int]:
+        """Scan for ACTIVE nodes in heap order (the paper's array scan)."""
+        return [int(n) for n in np.nonzero(self.states == NodeState.ACTIVE)[0]]
+
+    def activate_children(self, node: int) -> tuple[int, int]:
+        """Mark ``node`` SPLIT and its children ACTIVE; returns the children."""
+        left, right = 2 * node + 1, 2 * node + 2
+        if right >= self.max_nodes:
+            raise TrainingError(f"children of node {node} exceed the state array")
+        self.set_state(node, NodeState.SPLIT)
+        self.set_state(left, NodeState.ACTIVE)
+        self.set_state(right, NodeState.ACTIVE)
+        return left, right
+
+
+class RoundRobinScheduler:
+    """Assigns the i-th active node to worker ``i mod w``."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise TrainingError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def assign(self, active_nodes: list[int]) -> dict[int, list[int]]:
+        """Map worker id -> the active nodes it is responsible for.
+
+        Every worker appears in the result (possibly with an empty list),
+        so callers can iterate workers uniformly.
+        """
+        assignment: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}
+        for i, node in enumerate(active_nodes):
+            assignment[i % self.n_workers].append(node)
+        return assignment
+
+
+class SpeedWeightedScheduler:
+    """Assigns split tasks proportionally to worker speeds.
+
+    A heterogeneity-aware extension of the round-robin scheduler: each
+    node goes to the worker whose *normalized load* ``(assigned + 1) /
+    speed`` is smallest, so a half-speed machine receives roughly half
+    the split tasks and the FIND_SPLIT barrier stops paying the
+    straggler (the idea behind the authors' companion heterogeneity-
+    aware parameter-server work).
+
+    With uniform speeds this degrades gracefully to round-robin's
+    balance (each worker within one task of the others).
+    """
+
+    def __init__(self, n_workers: int, speeds: list[float] | None = None) -> None:
+        if n_workers < 1:
+            raise TrainingError(f"n_workers must be >= 1, got {n_workers}")
+        if speeds is None:
+            speeds = [1.0] * n_workers
+        if len(speeds) != n_workers:
+            raise TrainingError(
+                f"speeds must have {n_workers} entries, got {len(speeds)}"
+            )
+        if any(s <= 0 for s in speeds):
+            raise TrainingError(f"speeds must be positive, got {speeds}")
+        self.n_workers = n_workers
+        self.speeds = list(speeds)
+
+    def assign(self, active_nodes: list[int]) -> dict[int, list[int]]:
+        """Greedy normalized-load assignment (deterministic)."""
+        assignment: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}
+        for node in active_nodes:
+            target = min(
+                range(self.n_workers),
+                key=lambda w: ((len(assignment[w]) + 1) / self.speeds[w], w),
+            )
+            assignment[target].append(node)
+        return assignment
+
+
+class SingleAgentScheduler:
+    """The naive strategy: one agent worker handles every active node.
+
+    "The most naive approach is to appoint one worker as an agent to
+    handle all the active nodes.  However, this method will incur
+    significant pressure on the agent."  Kept for the ablation bench.
+    """
+
+    def __init__(self, n_workers: int, agent: int = 0) -> None:
+        if n_workers < 1:
+            raise TrainingError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0 <= agent < n_workers:
+            raise TrainingError(
+                f"agent {agent} out of range [0, {n_workers})"
+            )
+        self.n_workers = n_workers
+        self.agent = agent
+
+    def assign(self, active_nodes: list[int]) -> dict[int, list[int]]:
+        """All nodes to the agent; everyone else idles."""
+        assignment: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}
+        assignment[self.agent] = list(active_nodes)
+        return assignment

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the DimBoost reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly, at construction time, so that a bad hyper-parameter is
+    reported before any (potentially expensive) training work starts.
+    """
+
+
+class DataError(ReproError):
+    """The input dataset is malformed or inconsistent.
+
+    Examples: a sparse matrix whose index arrays disagree with its shape,
+    a label vector whose length differs from the number of instances, or a
+    LibSVM line that cannot be parsed.
+    """
+
+
+class SketchError(ReproError):
+    """A quantile sketch was used incorrectly.
+
+    Examples: querying quantiles from an empty sketch or merging sketches
+    built with incompatible error parameters.
+    """
+
+
+class CommunicationError(ReproError):
+    """A collective/fabric operation was invoked with inconsistent inputs.
+
+    Examples: workers contributing tensors of mismatched shapes, or a
+    message routed to a node that does not exist.
+    """
+
+
+class PSError(ReproError):
+    """A parameter-server operation failed.
+
+    Examples: pushing to an unknown parameter, pulling a row that was never
+    initialized, or registering two parameters under the same name.
+    """
+
+
+class TrainingError(ReproError):
+    """Training could not proceed.
+
+    Examples: a tree grower asked to split a node that is not active, or a
+    distributed trainer whose workers fell out of phase.
+    """
+
+
+class NotFittedError(TrainingError):
+    """A model was asked to predict before it was trained."""

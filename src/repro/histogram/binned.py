@@ -1,0 +1,128 @@
+"""Pre-bucketized data shards.
+
+Algorithm 2 calls ``indexOf(f, v)`` for every nonzero on every histogram
+build.  The bucket of a (feature, value) pair never changes within a
+training run, so a :class:`BinnedShard` performs all lookups once, up
+front, and stores for each nonzero its feature id and bucket id.  Builders
+then reduce to weighted ``bincount`` calls over precomputed flat slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..datasets.sparse import CSRMatrix
+from ..sketch.candidates import CandidateSet
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate integer ranges ``[starts[i], starts[i]+counts[i])``.
+
+    Fully vectorized (no per-range Python loop); the workhorse for
+    gathering the nonzero positions of a set of rows.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape:
+        raise DataError("starts and counts must have the same shape")
+    nonempty = counts > 0
+    starts, counts = starts[nonempty], counts[nonempty]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    deltas = np.ones(total, dtype=np.int64)
+    deltas[0] = starts[0]
+    ends = counts.cumsum()
+    deltas[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return deltas.cumsum()
+
+
+class BinnedShard:
+    """A worker's data shard with nonzeros mapped to histogram buckets.
+
+    Attributes:
+        indptr: CSR row pointers of the shard (view of the source matrix).
+        features: Feature id of each nonzero (the CSR ``indices``).
+        bins: Bucket id of each nonzero under the candidate cuts.
+        slots: ``features * n_bins + bins`` — flat histogram slot of each
+            nonzero, precomputed for weighted-bincount builds.
+        row_of: Row id of each nonzero.
+        zero_bins: Bucket of value 0.0 for every feature.
+        zero_slots: Flat slot of the zero bucket for every feature.
+        n_rows, n_features, n_bins: Layout.
+    """
+
+    __slots__ = (
+        "indptr",
+        "features",
+        "bins",
+        "slots",
+        "row_of",
+        "zero_bins",
+        "zero_slots",
+        "n_rows",
+        "n_features",
+        "n_bins",
+    )
+
+    def __init__(self, X: CSRMatrix, candidates: CandidateSet) -> None:
+        if X.n_cols != candidates.n_features:
+            raise DataError(
+                f"matrix has {X.n_cols} features but candidates cover "
+                f"{candidates.n_features}"
+            )
+        self.indptr = X.indptr
+        self.features = X.indices.astype(np.int64)
+        self.bins = candidates.bins_for(self.features, X.data)
+        self.n_rows = X.n_rows
+        self.n_features = X.n_cols
+        self.n_bins = candidates.max_bins
+        self.slots = self.features * self.n_bins + self.bins.astype(np.int64)
+        self.row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), X.row_nnz())
+        self.zero_bins = candidates.zero_bins.astype(np.int64)
+        self.zero_slots = (
+            np.arange(self.n_features, dtype=np.int64) * self.n_bins + self.zero_bins
+        )
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros in the shard."""
+        return len(self.features)
+
+    def positions_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Flat nonzero positions of the given rows, in row order."""
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        return concat_ranges(starts, counts)
+
+    def split_mask(self, rows: np.ndarray, feature: int, bucket: int) -> np.ndarray:
+        """Which of ``rows`` go left under "buckets 0..bucket of feature".
+
+        A row goes left iff its bucket for ``feature`` is at most
+        ``bucket``; rows where the feature is absent use the zero bucket —
+        the same rule the histograms encode, so tree splitting
+        (SPLIT_TREE) partitions instances exactly as FIND_SPLIT counted
+        them.
+        """
+        if not 0 <= feature < self.n_features:
+            raise DataError(
+                f"feature {feature} out of range [0, {self.n_features})"
+            )
+        rows = np.asarray(rows, dtype=np.int64)
+        mask = np.full(len(rows), self.zero_bins[feature] <= bucket, dtype=bool)
+        positions = self.positions_of_rows(rows)
+        if len(positions) == 0:
+            return mask
+        counts = self.indptr[rows + 1] - self.indptr[rows]
+        local_row = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        at_feature = self.features[positions] == feature
+        mask[local_row[at_feature]] = self.bins[positions[at_feature]] <= bucket
+        return mask
+
+    def __repr__(self) -> str:
+        return (
+            f"BinnedShard(n_rows={self.n_rows}, n_features={self.n_features}, "
+            f"n_bins={self.n_bins}, nnz={self.nnz})"
+        )

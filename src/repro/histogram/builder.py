@@ -1,0 +1,135 @@
+"""Histogram builders: the traditional dense scan and Algorithm 2.
+
+Two builders with identical outputs but different complexity:
+
+* :func:`build_node_histogram_dense` — the "traditional algorithm" the
+  paper ascribes to existing systems: enumerate **all** ``M`` features of
+  every instance, zero or not.  O(M * N_node) work.
+* :func:`build_node_histogram_sparse` — the paper's sparsity-aware
+  Algorithm 2: accumulate the gradient sum once, touch only nonzeros, and
+  settle the zero buckets at the end.  O(z * N_node + M) work.
+
+Both operate on a :class:`BinnedShard` so bucket lookups are precomputed;
+the asymptotic gap the paper reports (52272 s -> 33 s for the Gender root
+node, Table 3) comes purely from the number of buckets touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .binned import BinnedShard
+from .histogram import GradientHistogram
+
+
+def _check_inputs(shard: BinnedShard, grad: np.ndarray, hess: np.ndarray) -> None:
+    if len(grad) != shard.n_rows or len(hess) != shard.n_rows:
+        raise DataError(
+            f"grad/hess must have one value per shard row ({shard.n_rows}), "
+            f"got {len(grad)}/{len(hess)}"
+        )
+
+
+def build_node_histogram_sparse(
+    shard: BinnedShard,
+    rows: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+) -> GradientHistogram:
+    """Sparsity-aware histogram build (Algorithm 2), vectorized.
+
+    Args:
+        shard: Pre-bucketized data shard.
+        rows: Shard-local row ids of the instances in the tree node.
+        grad: First-order gradients, one per shard row.
+        hess: Second-order gradients, one per shard row.
+
+    Returns:
+        The node's gradient histogram.
+    """
+    _check_inputs(shard, grad, hess)
+    rows = np.asarray(rows, dtype=np.int64)
+    size = shard.n_features * shard.n_bins
+
+    # Algorithm 2 lines 2-3: accumulate the gradient sums of all instances.
+    sum_g = float(grad[rows].sum())
+    sum_h = float(hess[rows].sum())
+
+    # Lines 4-10: scatter each nonzero's gradient into its bucket and
+    # subtract it from the feature's zero bucket.  Vectorized as two
+    # weighted bincounts: one over the nonzero slots (add) and one over
+    # the features' zero slots (subtract).
+    positions = shard.positions_of_rows(rows)
+    if len(positions) > 0:
+        slots = shard.slots[positions]
+        nz_rows = shard.row_of[positions]
+        g_nz = grad[nz_rows].astype(np.float64)
+        h_nz = hess[nz_rows].astype(np.float64)
+
+        hist_g = np.bincount(slots, weights=g_nz, minlength=size)
+        hist_h = np.bincount(slots, weights=h_nz, minlength=size)
+        zero_slots_of_nz = shard.zero_slots[shard.features[positions]]
+        hist_g -= np.bincount(zero_slots_of_nz, weights=g_nz, minlength=size)
+        hist_h -= np.bincount(zero_slots_of_nz, weights=h_nz, minlength=size)
+    else:
+        # No nonzeros in this node (np.bincount would fall back to int64
+        # on empty weights): only the zero buckets receive mass.
+        hist_g = np.zeros(size, dtype=np.float64)
+        hist_h = np.zeros(size, dtype=np.float64)
+
+    # Lines 12-15: add the gradient sums to every feature's zero bucket.
+    hist_g = hist_g.reshape(shard.n_features, shard.n_bins)
+    hist_h = hist_h.reshape(shard.n_features, shard.n_bins)
+    hist_g[np.arange(shard.n_features), shard.zero_bins] += sum_g
+    hist_h[np.arange(shard.n_features), shard.zero_bins] += sum_h
+    return GradientHistogram(hist_g, hist_h)
+
+
+def build_node_histogram_dense(
+    shard: BinnedShard,
+    rows: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    chunk_rows: int = 512,
+) -> GradientHistogram:
+    """Traditional dense histogram build: touch all M features per instance.
+
+    Every instance contributes its gradient to one bucket of **every**
+    feature (the zero bucket unless the feature is nonzero), so the work
+    is genuinely O(M * N_node).  Rows are processed in chunks to bound the
+    size of the materialized dense bucket matrix.
+
+    Kept as the faithful baseline for the Table 3 ablation and the
+    existing-systems comparison; outputs are bit-identical (up to float
+    summation order) to :func:`build_node_histogram_sparse`.
+    """
+    _check_inputs(shard, grad, hess)
+    rows = np.asarray(rows, dtype=np.int64)
+    size = shard.n_features * shard.n_bins
+    hist_g = np.zeros(size, dtype=np.float64)
+    hist_h = np.zeros(size, dtype=np.float64)
+
+    for lo in range(0, len(rows), chunk_rows):
+        chunk = rows[lo : lo + chunk_rows]
+        # Dense bucket matrix: start from every feature's zero bucket, then
+        # overwrite the buckets of the nonzeros actually present.
+        dense_slots = np.tile(shard.zero_slots, (len(chunk), 1))
+        positions = shard.positions_of_rows(chunk)
+        if len(positions) > 0:
+            local_row = np.searchsorted(
+                np.cumsum(shard.indptr[chunk + 1] - shard.indptr[chunk]),
+                np.arange(len(positions)),
+                side="right",
+            )
+            dense_slots[local_row, shard.features[positions]] = shard.slots[positions]
+        g_chunk = np.repeat(grad[chunk].astype(np.float64), shard.n_features)
+        h_chunk = np.repeat(hess[chunk].astype(np.float64), shard.n_features)
+        flat = dense_slots.ravel()
+        hist_g += np.bincount(flat, weights=g_chunk, minlength=size)
+        hist_h += np.bincount(flat, weights=h_chunk, minlength=size)
+
+    return GradientHistogram(
+        hist_g.reshape(shard.n_features, shard.n_bins),
+        hist_h.reshape(shard.n_features, shard.n_bins),
+    )

@@ -1,0 +1,109 @@
+"""Node-to-instance index (Section 5.2, Figure 9).
+
+Maps tree nodes to the instances they contain without re-scanning the
+dataset.  One array holds a permutation of the shard's row ids; every
+tree node owns a contiguous range ``[lo, hi)`` of it.  Splitting a node
+partitions its range in place — instances going left are moved to the
+front, those going right to the back — and the two children receive the
+sub-ranges.  The paper scans from both ends swapping misplaced rows; the
+vectorized stable partition used here produces the same multiset split in
+one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+class NodeInstanceIndex:
+    """Instance ranges per tree node over a permuted row-id array.
+
+    Node ids follow the heap layout of the paper's state array: node ``i``
+    has children ``2i + 1`` and ``2i + 2``; the root is node 0.
+    """
+
+    __slots__ = ("positions", "_lo", "_hi", "_valid", "max_nodes")
+
+    def __init__(self, n_rows: int, max_nodes: int) -> None:
+        if n_rows < 0:
+            raise TrainingError(f"n_rows must be >= 0, got {n_rows}")
+        if max_nodes < 1:
+            raise TrainingError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.max_nodes = max_nodes
+        self.positions = np.arange(n_rows, dtype=np.int64)
+        self._lo = np.zeros(max_nodes, dtype=np.int64)
+        self._hi = np.zeros(max_nodes, dtype=np.int64)
+        self._valid = np.zeros(max_nodes, dtype=bool)
+        # All instances start at the root (Figure 9 step 2).
+        self._lo[0], self._hi[0] = 0, n_rows
+        self._valid[0] = True
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.max_nodes:
+            raise TrainingError(f"node {node} out of range [0, {self.max_nodes})")
+        if not self._valid[node]:
+            raise TrainingError(f"node {node} has no instance range")
+
+    def has_node(self, node: int) -> bool:
+        """Whether ``node`` currently owns a range."""
+        return 0 <= node < self.max_nodes and bool(self._valid[node])
+
+    def node_range(self, node: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` range of ``node`` in the position array."""
+        self._check_node(node)
+        return int(self._lo[node]), int(self._hi[node])
+
+    def rows_of(self, node: int) -> np.ndarray:
+        """Shard-local row ids of the instances in ``node`` (a view)."""
+        lo, hi = self.node_range(node)
+        return self.positions[lo:hi]
+
+    def node_size(self, node: int) -> int:
+        """Number of instances in ``node``."""
+        lo, hi = self.node_range(node)
+        return hi - lo
+
+    def split(self, node: int, goes_left: np.ndarray) -> tuple[int, int]:
+        """Partition ``node``'s range by the boolean mask ``goes_left``.
+
+        Args:
+            node: The node being split.
+            goes_left: Boolean array aligned with ``rows_of(node)``; True
+                rows move to the left child ``2 * node + 1``.
+
+        Returns:
+            The (left_child, right_child) node ids, now owning the front
+            and back sub-ranges.
+        """
+        self._check_node(node)
+        left, right = 2 * node + 1, 2 * node + 2
+        if right >= self.max_nodes:
+            raise TrainingError(
+                f"children of node {node} exceed max_nodes={self.max_nodes}"
+            )
+        lo, hi = self.node_range(node)
+        goes_left = np.asarray(goes_left, dtype=bool)
+        if len(goes_left) != hi - lo:
+            raise TrainingError(
+                f"mask length {len(goes_left)} != node size {hi - lo}"
+            )
+        # Copy before writing: rows aliases self.positions, and the first
+        # assignment below would otherwise corrupt what the second reads.
+        rows = self.positions[lo:hi].copy()
+        n_left = int(goes_left.sum())
+        # Stable partition (equivalent outcome to the paper's two-pointer
+        # swap): left-bound rows first, right-bound rows after.
+        self.positions[lo : lo + n_left] = rows[goes_left]
+        self.positions[lo + n_left : hi] = rows[~goes_left]
+        self._lo[left], self._hi[left] = lo, lo + n_left
+        self._lo[right], self._hi[right] = lo + n_left, hi
+        self._valid[left] = True
+        self._valid[right] = True
+        return left, right
+
+    def release(self, node: int) -> None:
+        """Drop ``node``'s range (after it was split or became a leaf)."""
+        self._check_node(node)
+        self._valid[node] = False

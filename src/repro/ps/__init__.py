@@ -1,0 +1,36 @@
+"""Parameter-server architecture (Section 4).
+
+"DimBoost is also the first GBDT system built with the parameter server
+architecture."  Three roles (Section 4.2): servers jointly store model
+shards and expose user-defined ``push``/``pull``; workers hold data
+shards and exchange parameters; the master supervises phases and
+synchronization barriers.
+
+This package implements the server side:
+
+* :class:`VectorPartitioner` — the hybrid range-hash partition of
+  Section 4.3 (ranges by feature index, hashed onto servers).
+* :class:`PSServer` — one server shard with lazily allocated parameter
+  rows, additive push, plain pull, and server-side pull UDFs (the hook
+  the two-phase split finding of Section 6.3 plugs into).
+* :class:`ParameterServerGroup` — the client-facing ensemble: routes
+  pushes/pulls to shards, handles low-precision decode on the server, and
+  accounts wire bytes for the simulated clock.
+* :class:`Master` — phase barriers and health bookkeeping (Section 4.2).
+"""
+
+from .partitioner import Partition, VectorPartitioner
+from .server import PSServer, PullUDF
+from .group import ParameterServerGroup, TransferStats
+from .master import Master, WorkerPhase
+
+__all__ = [
+    "Partition",
+    "VectorPartitioner",
+    "PSServer",
+    "PullUDF",
+    "ParameterServerGroup",
+    "TransferStats",
+    "Master",
+    "WorkerPhase",
+]

@@ -1,0 +1,227 @@
+"""Client-facing ensemble of parameter-server shards.
+
+A :class:`ParameterServerGroup` owns ``p`` :class:`PSServer` shards and a
+:class:`VectorPartitioner` per registered parameter.  Workers interact
+only with the group: it splits a pushed row into per-range slices, routes
+them to the hosting servers (decoding low-precision payloads server-side
+before the additive merge), gathers pulls, and dispatches pull UDFs.
+
+Every call returns a :class:`TransferStats` so trainers can charge the
+simulated clock with real wire-byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..compression.lowprec import (
+    compress_blocked,
+    compress_flat,
+    decompress_blocked,
+    decompress_flat,
+)
+from ..errors import PSError
+from .partitioner import Partition, VectorPartitioner
+from .server import PSServer, PullUDF
+
+
+@dataclass
+class TransferStats:
+    """Wire accounting of one PS interaction.
+
+    Attributes:
+        bytes_up: Bytes sent from the caller to servers.
+        bytes_down: Bytes sent from servers to the caller.
+        messages: Point-to-point messages involved.
+    """
+
+    bytes_up: int = 0
+    bytes_down: int = 0
+    messages: int = 0
+
+    def merge(self, other: "TransferStats") -> "TransferStats":
+        """Accumulate ``other`` into this record (returns self)."""
+        self.bytes_up += other.bytes_up
+        self.bytes_down += other.bytes_down
+        self.messages += other.messages
+        return self
+
+
+class ParameterServerGroup:
+    """The ``p`` servers of Figure 4 behind one facade.
+
+    Args:
+        n_servers: Number of shards p.
+        partition_salt: Propagated to every parameter's partitioner.
+    """
+
+    def __init__(self, n_servers: int, partition_salt: int = 0) -> None:
+        if n_servers < 1:
+            raise PSError(f"n_servers must be >= 1, got {n_servers}")
+        self.servers = [PSServer(sid) for sid in range(n_servers)]
+        self._partitioners: dict[str, VectorPartitioner] = {}
+        self._salt = partition_salt
+
+    @property
+    def n_servers(self) -> int:
+        """Number of shards."""
+        return len(self.servers)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        row_length: int,
+        n_partitions: int | None = None,
+        align: int = 1,
+    ) -> VectorPartitioner:
+        """Register a (row-organized) parameter of ``row_length`` elements.
+
+        ``align`` forces range boundaries onto multiples of that many
+        elements (e.g. ``2 * n_bins`` so whole features stay on one
+        server).  Returns the partitioner so callers can map ranges.
+        """
+        if name in self._partitioners:
+            raise PSError(f"parameter {name!r} already registered")
+        partitioner = VectorPartitioner(
+            row_length, self.n_servers, n_partitions, salt=self._salt, align=align
+        )
+        self._partitioners[name] = partitioner
+        for server in self.servers:
+            hosted = partitioner.partitions_on_server(server.server_id)
+            server.register(name, hosted)
+        return partitioner
+
+    def partitioner(self, name: str) -> VectorPartitioner:
+        """The partitioner of a registered parameter."""
+        try:
+            return self._partitioners[name]
+        except KeyError as exc:
+            raise PSError(f"parameter {name!r} not registered") from exc
+
+    # ------------------------------------------------------------------
+    # push / pull
+    # ------------------------------------------------------------------
+
+    def push_row(
+        self,
+        name: str,
+        row: int,
+        flat: np.ndarray,
+        compression_bits: int = 0,
+        rng: np.random.Generator | None = None,
+        compression_block: int | None = None,
+    ) -> TransferStats:
+        """Push one row, split by ranges, optionally low-precision.
+
+        With ``compression_bits > 0`` each range slice is quantized by the
+        Section 6.1 codec before "transmission" and decoded on the server,
+        so the stored parameter accumulates the (unbiased) decoded floats
+        while only the compressed bytes count on the wire.
+
+        ``compression_block`` selects the scale granularity: None uses one
+        scale per range slice; a positive value gives every that-many
+        values their own scale (e.g. ``n_bins`` so each per-feature
+        histogram is scaled independently, the Section 6.1 reading of
+        "the maximal absolute value in the histogram").
+        """
+        partitioner = self.partitioner(name)
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (partitioner.length,):
+            raise PSError(
+                f"push_row to {name!r}: expected {partitioner.length} values, "
+                f"got {flat.shape}"
+            )
+        if compression_bits and rng is None:
+            raise PSError("compression requires an rng for stochastic rounding")
+        stats = TransferStats()
+        for part in partitioner.partitions:
+            piece = flat[part.lo : part.hi]
+            if compression_bits and compression_block:
+                blocked = compress_blocked(
+                    piece, compression_block, compression_bits, rng
+                )
+                stats.bytes_up += blocked.wire_bytes
+                piece = decompress_blocked(blocked)
+            elif compression_bits:
+                compressed = compress_flat(piece, compression_bits, rng)
+                stats.bytes_up += compressed.wire_bytes
+                piece = decompress_flat(compressed)
+            else:
+                stats.bytes_up += piece.size * 4
+            self.servers[part.server_id].handle_push(
+                name, row, part.partition_id, piece
+            )
+            stats.messages += 1
+        return stats
+
+    def pull_row(self, name: str, row: int) -> tuple[np.ndarray, TransferStats]:
+        """Pull a full row, reassembled from all ranges."""
+        partitioner = self.partitioner(name)
+        flat = np.empty(partitioner.length, dtype=np.float64)
+        stats = TransferStats()
+        for part in partitioner.partitions:
+            piece = self.servers[part.server_id].handle_pull(
+                name, row, part.partition_id
+            )
+            flat[part.lo : part.hi] = piece
+            stats.bytes_down += piece.size * 4
+            stats.messages += 1
+        return flat, stats
+
+    def pull_row_udf(
+        self,
+        name: str,
+        row: int,
+        udf: PullUDF,
+        result_bytes: int = 12,
+    ) -> tuple[list[tuple[Partition, Any]], TransferStats]:
+        """Run ``udf`` on every range of ``row`` server-side.
+
+        Args:
+            name, row: The parameter row.
+            udf: Server-side function ``(values, partition) -> result``.
+            result_bytes: Wire size charged per UDF result; the two-phase
+                split reply is "one integer and two floating-point
+                numbers" (Section 6.3), hence the 12-byte default.
+
+        Returns:
+            ([(partition, result), ...] in partition order, stats).
+        """
+        partitioner = self.partitioner(name)
+        results: list[tuple[Partition, Any]] = []
+        stats = TransferStats()
+        for part in partitioner.partitions:
+            result = self.servers[part.server_id].handle_pull_udf(
+                name, row, part.partition_id, udf
+            )
+            results.append((part, result))
+            stats.bytes_down += result_bytes
+            stats.messages += 1
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear_row(self, name: str, row: int) -> None:
+        """Free one row on every shard."""
+        self.partitioner(name)  # raises if unknown
+        for server in self.servers:
+            server.clear_row(name, row)
+
+    def clear_parameter(self, name: str) -> None:
+        """Free all rows of a parameter on every shard."""
+        self.partitioner(name)
+        for server in self.servers:
+            server.clear_parameter(name)
+
+    def memory_bytes(self) -> int:
+        """Total parameter bytes across shards."""
+        return sum(server.memory_bytes() for server in self.servers)

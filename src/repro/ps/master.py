@@ -1,0 +1,131 @@
+"""The master role: phase synchronization and health bookkeeping.
+
+Section 4.2: "The master supervises workers and servers with periodical
+health checking.  It also controls the synchronization between workers to
+assure algorithmic correctness."  Section 4.4 adds the rule the barrier
+enforces: "one worker cannot proceed until all workers have finished the
+current phase."
+
+The simulated cluster executes workers one after another, so the barrier
+here is a correctness *assertion* rather than a blocking primitive: a
+worker entering a phase out of lockstep raises :class:`TrainingError`
+immediately instead of deadlocking silently.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import TrainingError
+
+
+class WorkerPhase(Enum):
+    """The seven phases of worker execution (Section 4.4, Figure 7)."""
+
+    CREATE_SKETCH = "CREATE_SKETCH"
+    PULL_SKETCH = "PULL_SKETCH"
+    NEW_TREE = "NEW_TREE"
+    BUILD_HISTOGRAM = "BUILD_HISTOGRAM"
+    FIND_SPLIT = "FIND_SPLIT"
+    SPLIT_TREE = "SPLIT_TREE"
+    FINISH = "FINISH"
+
+
+#: Phases a worker may legally move to from each phase.
+_ALLOWED_NEXT: dict[WorkerPhase, frozenset[WorkerPhase]] = {
+    WorkerPhase.CREATE_SKETCH: frozenset({WorkerPhase.PULL_SKETCH}),
+    WorkerPhase.PULL_SKETCH: frozenset({WorkerPhase.NEW_TREE}),
+    # Depth-1 trees skip BUILD/FIND/SPLIT entirely, hopping straight to
+    # the next tree (or FINISH).
+    WorkerPhase.NEW_TREE: frozenset(
+        {WorkerPhase.BUILD_HISTOGRAM, WorkerPhase.NEW_TREE, WorkerPhase.FINISH}
+    ),
+    WorkerPhase.BUILD_HISTOGRAM: frozenset({WorkerPhase.FIND_SPLIT}),
+    WorkerPhase.FIND_SPLIT: frozenset({WorkerPhase.SPLIT_TREE}),
+    WorkerPhase.SPLIT_TREE: frozenset(
+        {WorkerPhase.BUILD_HISTOGRAM, WorkerPhase.NEW_TREE, WorkerPhase.FINISH}
+    ),
+    WorkerPhase.FINISH: frozenset(),
+}
+
+
+class Master:
+    """Phase-lockstep coordinator for ``n_workers`` workers.
+
+    One worker (id 0 by convention, matching the paper's "leader worker")
+    is designated leader.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise TrainingError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._phase: list[WorkerPhase | None] = [None] * n_workers
+        self._barriers_passed = 0
+        self._health_beats: list[int] = [0] * n_workers
+
+    @property
+    def leader_id(self) -> int:
+        """The leader worker's id."""
+        return 0
+
+    @property
+    def barriers_passed(self) -> int:
+        """Number of completed barriers (one per phase transition)."""
+        return self._barriers_passed
+
+    def _check_worker(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.n_workers:
+            raise TrainingError(
+                f"worker {worker_id} out of range [0, {self.n_workers})"
+            )
+
+    def phase_of(self, worker_id: int) -> WorkerPhase | None:
+        """Current phase of a worker (None before CREATE_SKETCH)."""
+        self._check_worker(worker_id)
+        return self._phase[worker_id]
+
+    def enter_phase(self, worker_id: int, phase: WorkerPhase) -> None:
+        """Record that ``worker_id`` starts ``phase``; validates lockstep.
+
+        Raises:
+            TrainingError: If the transition is illegal or the worker is
+                ahead of a peer by more than one phase (barrier violation).
+        """
+        self._check_worker(worker_id)
+        current = self._phase[worker_id]
+        if current is None:
+            if phase is not WorkerPhase.CREATE_SKETCH:
+                raise TrainingError(
+                    f"worker {worker_id} must start in CREATE_SKETCH, "
+                    f"tried {phase.value}"
+                )
+        elif phase not in _ALLOWED_NEXT[current]:
+            raise TrainingError(
+                f"worker {worker_id}: illegal transition "
+                f"{current.value} -> {phase.value}"
+            )
+        # Barrier check: every peer must be either still in this worker's
+        # current phase (not yet at the barrier) or already in the target
+        # phase (passed it) — anything else means lockstep was broken.
+        for other_id, other in enumerate(self._phase):
+            if other_id == worker_id:
+                continue
+            if other is not current and other is not phase:
+                raise TrainingError(
+                    f"barrier violation: worker {worker_id} entering "
+                    f"{phase.value} while worker {other_id} is in "
+                    f"{other.value if other else 'None'}"
+                )
+        self._phase[worker_id] = phase
+        self._health_beats[worker_id] += 1
+        if all(p is phase for p in self._phase):
+            self._barriers_passed += 1
+
+    def health_report(self) -> dict[int, int]:
+        """Heartbeat counts per worker (the periodic health check)."""
+        return {wid: beats for wid, beats in enumerate(self._health_beats)}
+
+    def all_finished(self) -> bool:
+        """Whether every worker reached FINISH."""
+        return all(p is WorkerPhase.FINISH for p in self._phase)

@@ -1,0 +1,154 @@
+"""One parameter-server shard (Section 4.2, "Server").
+
+A :class:`PSServer` stores, for each registered parameter, the element
+ranges the partitioner assigned to it.  Rows (e.g. one gradient histogram
+per tree node, Section 4.3 "Parameter Layout") are allocated lazily on
+first push and freed explicitly — the GradHist parameter would otherwise
+occupy ``(2**d - 1) * 2KM`` floats even for nodes never built.
+
+Push semantics: the default push "adds updates to the parameter"
+(Section 4.3) — exactly the histogram merge.  Pull semantics: plain pull
+returns the stored range; *UDF pulls* run a caller-supplied function over
+the stored range server-side and return only its (small) result — the
+mechanism behind two-phase split finding (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import PSError
+from .partitioner import Partition
+
+#: A server-side pull function: (stored_values, partition) -> small result.
+PullUDF = Callable[[np.ndarray, Partition], Any]
+
+
+class PSServer:
+    """A single server shard.
+
+    Attributes:
+        server_id: This shard's id within the group.
+    """
+
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+        # name -> list of partitions this server hosts
+        self._hosted: dict[str, list[Partition]] = {}
+        # name -> row -> partition_id -> values
+        self._rows: dict[str, dict[int, dict[int, np.ndarray]]] = {}
+        self.bytes_received = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, hosted: list[Partition]) -> None:
+        """Declare a parameter and the ranges this server hosts for it."""
+        if name in self._hosted:
+            raise PSError(f"parameter {name!r} already registered on server "
+                          f"{self.server_id}")
+        self._hosted[name] = list(hosted)
+        self._rows[name] = {}
+
+    def _partition(self, name: str, partition_id: int) -> Partition:
+        try:
+            hosted = self._hosted[name]
+        except KeyError as exc:
+            raise PSError(
+                f"parameter {name!r} not registered on server {self.server_id}"
+            ) from exc
+        for part in hosted:
+            if part.partition_id == partition_id:
+                return part
+        raise PSError(
+            f"partition {partition_id} of {name!r} is not hosted on server "
+            f"{self.server_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # push / pull
+    # ------------------------------------------------------------------
+
+    def handle_push(
+        self, name: str, row: int, partition_id: int, values: np.ndarray
+    ) -> None:
+        """Apply the default additive push to one hosted range of ``row``."""
+        part = self._partition(name, partition_id)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (part.length,):
+            raise PSError(
+                f"push to {name!r} partition {partition_id}: expected "
+                f"{part.length} values, got {values.shape}"
+            )
+        rows = self._rows[name].setdefault(row, {})
+        stored = rows.get(partition_id)
+        if stored is None:
+            rows[partition_id] = values.copy()
+        else:
+            stored += values
+        self.bytes_received += values.size * 4
+
+    def handle_pull(self, name: str, row: int, partition_id: int) -> np.ndarray:
+        """Return the stored values of one hosted range of ``row``."""
+        part = self._partition(name, partition_id)
+        stored = self._rows[name].get(row, {}).get(partition_id)
+        if stored is None:
+            stored = np.zeros(part.length, dtype=np.float64)
+        self.bytes_sent += stored.size * 4
+        return stored.copy()
+
+    def handle_pull_udf(
+        self, name: str, row: int, partition_id: int, udf: PullUDF
+    ) -> Any:
+        """Run ``udf`` over a hosted range server-side; return its result.
+
+        This is the customizable *pull* function of Section 6.3: "we move
+        the split finding operation ... to the pull function".  Only the
+        UDF's result crosses the wire, not the stored range.
+        """
+        part = self._partition(name, partition_id)
+        stored = self._rows[name].get(row, {}).get(partition_id)
+        if stored is None:
+            stored = np.zeros(part.length, dtype=np.float64)
+        return udf(stored, part)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear_row(self, name: str, row: int) -> None:
+        """Free the storage of one row (e.g. a finished tree node)."""
+        if name not in self._rows:
+            raise PSError(
+                f"parameter {name!r} not registered on server {self.server_id}"
+            )
+        self._rows[name].pop(row, None)
+
+    def clear_parameter(self, name: str) -> None:
+        """Free all rows of a parameter (e.g. between trees)."""
+        if name not in self._rows:
+            raise PSError(
+                f"parameter {name!r} not registered on server {self.server_id}"
+            )
+        self._rows[name] = {}
+
+    def stored_rows(self, name: str) -> list[int]:
+        """Row ids currently materialized for ``name`` (sorted)."""
+        if name not in self._rows:
+            raise PSError(
+                f"parameter {name!r} not registered on server {self.server_id}"
+            )
+        return sorted(self._rows[name])
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes of parameter data held by this shard."""
+        total = 0
+        for rows in self._rows.values():
+            for parts in rows.values():
+                for values in parts.values():
+                    total += values.nbytes
+        return total

@@ -1,0 +1,382 @@
+"""Greenwald-Khanna epsilon-approximate quantile summaries.
+
+A GK summary over ``n`` observed values is a sorted list of entries
+``(value, g, delta)`` where ``g`` is the gap in minimal rank to the
+previous entry and ``delta`` bounds the rank uncertainty of the entry.
+The invariant ``g + delta <= 2 * eps * n`` guarantees that any rank query
+is answered within ``eps * n`` of the true rank [Greenwald & Khanna,
+SIGMOD 2001].
+
+Three construction paths are provided:
+
+* :meth:`GKSketch.insert` — classic streaming insertion with periodic
+  compression (used when data arrives value by value).
+* :meth:`GKSketch.from_values` — batch construction from an in-memory
+  array: sort once and keep every ``ceil(2*eps*n)``-th element.  This is
+  how workers summarize their local data shard in CREATE_SKETCH, since
+  the shard is already resident.
+* :meth:`GKSketch.merge` — combine two summaries (the PS-side aggregation
+  of local sketches).  Merging concatenates the weighted entries and
+  re-compresses; the rank error of the result is bounded by the sum of
+  the inputs' errors, so distributed use builds local sketches at
+  ``eps / 2`` to end below ``eps`` after one merge level.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SketchError
+
+
+class GKSketch:
+    """Greenwald-Khanna quantile summary.
+
+    Attributes:
+        eps: Target rank-error fraction.
+        count: Number of values summarized.
+    """
+
+    __slots__ = ("eps", "count", "_values", "_g", "_delta")
+
+    def __init__(self, eps: float = 0.01) -> None:
+        if not 0.0 < eps < 0.5:
+            raise SketchError(f"eps must be in (0, 0.5), got {eps}")
+        self.eps = float(eps)
+        self.count = 0
+        self._values: list[float] = []
+        self._g: list[int] = []
+        self._delta: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[float] | np.ndarray, eps: float = 0.01) -> "GKSketch":
+        """Build a summary from an in-memory batch by sort-and-sample.
+
+        The result has at most ``ceil(1 / (2 * eps)) + 2`` entries and zero
+        delta everywhere, hence rank error at most ``eps * n``.
+        """
+        sketch = cls(eps)
+        arr = np.sort(np.asarray(values, dtype=np.float64))
+        n = len(arr)
+        if n == 0:
+            return sketch
+        step = max(1, int(math.floor(2.0 * eps * n)))
+        positions = list(range(0, n, step))
+        if positions[-1] != n - 1:
+            positions.append(n - 1)
+        prev = -1
+        for pos in positions:
+            sketch._values.append(float(arr[pos]))
+            sketch._g.append(pos - prev)
+            sketch._delta.append(0)
+            prev = pos
+        sketch.count = n
+        return sketch
+
+    def insert(self, value: float) -> None:
+        """Insert one value (streaming GK insertion with compression)."""
+        value = float(value)
+        self.count += 1
+        threshold = self._threshold()
+        i = bisect.bisect_left(self._values, value)
+        if i == 0 or i == len(self._values):
+            # New minimum or maximum: delta must be 0 at the extremes.
+            self._values.insert(i, value)
+            self._g.insert(i, 1)
+            self._delta.insert(i, 0)
+        else:
+            self._values.insert(i, value)
+            self._g.insert(i, 1)
+            self._delta.insert(i, max(0, threshold - 1))
+        if len(self._values) > self._max_entries():
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert many values one by one."""
+        for value in values:
+            self.insert(value)
+
+    def _threshold(self) -> int:
+        return max(1, int(math.floor(2.0 * self.eps * self.count)))
+
+    def _max_entries(self) -> int:
+        # Keep roughly 3/eps entries before compressing; GK's bound is
+        # O(log(eps * n) / eps) but this fixed cap works well in practice.
+        return int(3.0 / self.eps) + 8
+
+    def _compress(self) -> None:
+        """Greedily merge adjacent entries while the GK invariant holds."""
+        if len(self._values) <= 2:
+            return
+        threshold = self._threshold()
+        values = [self._values[0]]
+        gs = [self._g[0]]
+        deltas = [self._delta[0]]
+        for i in range(1, len(self._values) - 1):
+            # Classic GK merge: absorb the previous tuple into this one
+            # when the combined weight plus this tuple's uncertainty still
+            # satisfies the invariant.
+            if len(values) > 1 and gs[-1] + self._g[i] + self._delta[i] <= threshold:
+                gs[-1] += self._g[i]
+                values[-1] = self._values[i]
+                deltas[-1] = self._delta[i]
+            else:
+                values.append(self._values[i])
+                gs.append(self._g[i])
+                deltas.append(self._delta[i])
+        values.append(self._values[-1])
+        gs.append(self._g[-1])
+        deltas.append(self._delta[-1])
+        self._values, self._g, self._delta = values, gs, deltas
+
+    # ------------------------------------------------------------------
+    # merging (PS-side aggregation)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "GKSketch") -> "GKSketch":
+        """Return a new summary covering both inputs.
+
+        Entries are interleaved by value keeping their weights; deltas are
+        inflated by the partner sketch's uncertainty, so the merged rank
+        error is bounded by ``self.eps * self.count + other.eps *
+        other.count`` — i.e. the errors add, they do not multiply.
+        """
+        if other.count == 0:
+            return self.copy()
+        if self.count == 0:
+            merged = other.copy()
+            merged.eps = max(self.eps, other.eps)
+            return merged
+        out = GKSketch(max(self.eps, other.eps))
+        out.count = self.count + other.count
+        ia, ib = 0, 0
+        err_a = int(math.floor(2.0 * self.eps * self.count))
+        err_b = int(math.floor(2.0 * other.eps * other.count))
+        while ia < len(self._values) or ib < len(other._values):
+            take_a = ib >= len(other._values) or (
+                ia < len(self._values) and self._values[ia] <= other._values[ib]
+            )
+            if take_a:
+                out._values.append(self._values[ia])
+                out._g.append(self._g[ia])
+                out._delta.append(self._delta[ia] + err_b)
+                ia += 1
+            else:
+                out._values.append(other._values[ib])
+                out._g.append(other._g[ib])
+                out._delta.append(other._delta[ib] + err_a)
+                ib += 1
+        # Extremes must carry zero delta for exact min/max queries.
+        out._delta[0] = 0
+        out._delta[-1] = 0
+        out._compress_merged()
+        return out
+
+    def _compress_merged(self) -> None:
+        """Size-driven compression after merge (keeps the delta bounds)."""
+        target = self._max_entries()
+        if len(self._values) <= target:
+            return
+        # Reduce to ~target entries by combining adjacent entries evenly.
+        values = [self._values[0]]
+        gs = [self._g[0]]
+        deltas = [self._delta[0]]
+        budget = max(1, int(math.ceil(sum(self._g) / max(1, target - 2))))
+        for i in range(1, len(self._values) - 1):
+            if gs[-1] + self._g[i] <= budget and len(values) > 1:
+                gs[-1] += self._g[i]
+                values[-1] = self._values[i]
+                deltas[-1] = max(deltas[-1], self._delta[i])
+            else:
+                values.append(self._values[i])
+                gs.append(self._g[i])
+                deltas.append(self._delta[i])
+        values.append(self._values[-1])
+        gs.append(self._g[-1])
+        deltas.append(self._delta[-1])
+        self._values, self._g, self._delta = values, gs, deltas
+
+    def copy(self) -> "GKSketch":
+        """Return a deep copy."""
+        out = GKSketch(self.eps)
+        out.count = self.count
+        out._values = list(self._values)
+        out._g = list(self._g)
+        out._delta = list(self._delta)
+        return out
+
+    # ------------------------------------------------------------------
+    # wire serialization (what CREATE_SKETCH actually pushes)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the PS push: eps + count + packed entries.
+
+        Layout: float64 eps, int64 count, int32 n_entries, then three
+        parallel arrays (float64 values, int32 g, int32 delta).  This is
+        the real wire size the CREATE_SKETCH phase pays per feature.
+        """
+        header = np.empty(2, dtype=np.float64)
+        header[0] = self.eps
+        header[1] = float(self.count)
+        n = np.asarray([len(self._values)], dtype=np.int32)
+        values = np.asarray(self._values, dtype=np.float64)
+        gs = np.asarray(self._g, dtype=np.int32)
+        deltas = np.asarray(self._delta, dtype=np.int32)
+        return b"".join(
+            arr.tobytes() for arr in (header, n, values, gs, deltas)
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "GKSketch":
+        """Inverse of :meth:`to_bytes`."""
+        if len(payload) < 20:
+            raise SketchError(f"sketch payload too short ({len(payload)} bytes)")
+        header = np.frombuffer(payload, dtype=np.float64, count=2)
+        n = int(np.frombuffer(payload, dtype=np.int32, count=1, offset=16)[0])
+        expected = 20 + n * (8 + 4 + 4)
+        if len(payload) != expected:
+            raise SketchError(
+                f"sketch payload has {len(payload)} bytes, expected {expected}"
+            )
+        sketch = cls(float(header[0]))
+        sketch.count = int(header[1])
+        offset = 20
+        sketch._values = list(
+            np.frombuffer(payload, dtype=np.float64, count=n, offset=offset)
+        )
+        offset += 8 * n
+        sketch._g = [
+            int(v)
+            for v in np.frombuffer(payload, dtype=np.int32, count=n, offset=offset)
+        ]
+        offset += 4 * n
+        sketch._delta = [
+            int(v)
+            for v in np.frombuffer(payload, dtype=np.int32, count=n, offset=offset)
+        ]
+        return sketch
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size of :meth:`to_bytes` without materializing it."""
+        return 20 + len(self._values) * 16
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest value observed."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        return self._values[0]
+
+    @property
+    def max_value(self) -> float:
+        """Largest value observed."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        return self._values[-1]
+
+    def query(self, quantile: float) -> float:
+        """Return a value whose rank is within ``eps * n`` of ``quantile * n``."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        if not 0.0 <= quantile <= 1.0:
+            raise SketchError(f"quantile must be in [0, 1], got {quantile}")
+        target = quantile * self.count
+        slack = self.eps * self.count
+        rank_min = 0
+        for i in range(len(self._values)):
+            rank_min += self._g[i]
+            rank_max = rank_min + self._delta[i]
+            if target <= rank_max + slack and target <= rank_min + slack:
+                return self._values[i]
+        return self._values[-1]
+
+    def quantiles(self, k: int) -> np.ndarray:
+        """Return ``k`` evenly spaced interior quantiles (1/(k+1) .. k/(k+1))."""
+        if k < 1:
+            raise SketchError(f"k must be >= 1, got {k}")
+        qs = np.arange(1, k + 1, dtype=np.float64) / (k + 1)
+        return np.asarray([self.query(q) for q in qs], dtype=np.float64)
+
+    def rank_of(self, value: float) -> tuple[int, int]:
+        """Return (rank_min, rank_max) bounds for ``value`` (test helper)."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        rank_min = 0
+        for i in range(len(self._values)):
+            if self._values[i] > value:
+                return rank_min, rank_min + (self._delta[i - 1] if i else 0)
+            rank_min += self._g[i]
+        return rank_min, rank_min
+
+
+def sketch_columns(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    n_cols: int,
+    eps: float = 0.01,
+) -> list[GKSketch]:
+    """Build one GK summary per column of a CSR matrix in a single pass.
+
+    Sorts all nonzeros by (column, value) with one lexsort and batch-builds
+    each column's summary from its sorted segment — much faster than
+    streaming per-value inserts when the shard is already in memory.
+
+    Args:
+        indptr, indices, data: CSR arrays (indptr is unused but accepted to
+            mirror the matrix signature).
+        n_cols: Number of columns (features).
+        eps: Rank-error target of each summary.
+
+    Returns:
+        A list of ``n_cols`` sketches; columns with no stored values get an
+        empty sketch.
+    """
+    del indptr  # column sketches only need (column, value) pairs
+    order = np.lexsort((data, indices))
+    sorted_cols = indices[order]
+    sorted_vals = data[order].astype(np.float64)
+    boundaries = np.searchsorted(sorted_cols, np.arange(n_cols + 1))
+    sketches: list[GKSketch] = []
+    for col in range(n_cols):
+        lo, hi = int(boundaries[col]), int(boundaries[col + 1])
+        if hi > lo:
+            sketches.append(_from_presorted(sorted_vals[lo:hi], eps))
+        else:
+            sketches.append(GKSketch(eps))
+    return sketches
+
+
+def _from_presorted(sorted_values: np.ndarray, eps: float) -> GKSketch:
+    """Like :meth:`GKSketch.from_values` but skips the sort."""
+    sketch = GKSketch(eps)
+    n = len(sorted_values)
+    step = max(1, int(math.floor(2.0 * eps * n)))
+    positions = list(range(0, n, step))
+    if positions[-1] != n - 1:
+        positions.append(n - 1)
+    prev = -1
+    for pos in positions:
+        sketch._values.append(float(sorted_values[pos]))
+        sketch._g.append(pos - prev)
+        sketch._delta.append(0)
+        prev = pos
+    sketch.count = n
+    return sketch

@@ -1,0 +1,270 @@
+"""Regression tree structure and prediction.
+
+Nodes live in heap layout (node ``i`` has children ``2i+1`` / ``2i+2``),
+matching the paper's state array (Section 6.2) and the PS GradHist row
+indexing (Section 4.3).  Zero-valued (absent) sparse features are real
+zeros: an instance missing feature ``f`` is routed by ``0 < value``, the
+same rule the zero bucket gives the histograms — so training statistics
+and prediction agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..datasets.sparse import CSRMatrix
+from ..errors import TrainingError
+
+#: Marker in ``split_feature`` for a node that is a leaf.
+LEAF = -1
+#: Marker in ``split_feature`` for a slot not present in the tree.
+UNUSED = -2
+
+
+class RegressionTree:
+    """A binary regression tree over ``max_nodes`` heap slots.
+
+    Attributes:
+        split_feature: int32 per slot; feature id, or LEAF / UNUSED.
+        split_value: float64 threshold per internal node.
+        weight: float64 leaf weight per leaf node.
+    """
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise TrainingError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.max_nodes = (1 << max_depth) - 1
+        self.split_feature = np.full(self.max_nodes, UNUSED, dtype=np.int32)
+        self.split_value = np.zeros(self.max_nodes, dtype=np.float64)
+        self.weight = np.zeros(self.max_nodes, dtype=np.float64)
+        # Optional per-node statistics (model introspection): the split's
+        # objective gain and the node's hessian mass ("cover").
+        self.gain = np.zeros(self.max_nodes, dtype=np.float64)
+        self.cover = np.zeros(self.max_nodes, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _check_slot(self, node: int) -> None:
+        if not 0 <= node < self.max_nodes:
+            raise TrainingError(f"node {node} out of range [0, {self.max_nodes})")
+
+    def set_split(
+        self,
+        node: int,
+        feature: int,
+        value: float,
+        gain: float = 0.0,
+        cover: float = 0.0,
+    ) -> tuple[int, int]:
+        """Make ``node`` internal, splitting on ``x[feature] < value``.
+
+        ``gain`` and ``cover`` (the split's objective gain and the node's
+        hessian mass) are optional introspection statistics.
+
+        Returns the (left, right) child slot ids.
+        """
+        self._check_slot(node)
+        left, right = 2 * node + 1, 2 * node + 2
+        if right >= self.max_nodes:
+            raise TrainingError(
+                f"node {node} is at maximal depth; cannot split"
+            )
+        if feature < 0:
+            raise TrainingError(f"split feature must be >= 0, got {feature}")
+        self.split_feature[node] = feature
+        self.split_value[node] = value
+        self.gain[node] = gain
+        self.cover[node] = cover
+        return left, right
+
+    def set_leaf(self, node: int, weight: float, cover: float = 0.0) -> None:
+        """Make ``node`` a leaf predicting ``weight``."""
+        self._check_slot(node)
+        self.split_feature[node] = LEAF
+        self.weight[node] = weight
+        self.cover[node] = cover
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is a leaf."""
+        self._check_slot(node)
+        return self.split_feature[node] == LEAF
+
+    def is_internal(self, node: int) -> bool:
+        """Whether ``node`` is an internal (split) node."""
+        self._check_slot(node)
+        return self.split_feature[node] >= 0
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves L (the regularizer's leaf count)."""
+        return int(np.sum(self.split_feature == LEAF))
+
+    @property
+    def n_internal(self) -> int:
+        """Number of split nodes."""
+        return int(np.sum(self.split_feature >= 0))
+
+    def depth_of(self, node: int) -> int:
+        """1-based depth of a heap slot (root = 1)."""
+        self._check_slot(node)
+        return (node + 1).bit_length()
+
+    def validate(self) -> None:
+        """Check structural invariants; raises TrainingError on violation."""
+        if self.split_feature[0] == UNUSED:
+            raise TrainingError("tree has no root")
+        for node in range(self.max_nodes):
+            state = self.split_feature[node]
+            left, right = 2 * node + 1, 2 * node + 2
+            if state >= 0:
+                if right >= self.max_nodes:
+                    raise TrainingError(f"internal node {node} beyond max depth")
+                if self.split_feature[left] == UNUSED or (
+                    self.split_feature[right] == UNUSED
+                ):
+                    raise TrainingError(f"internal node {node} missing children")
+            elif state == LEAF and node != 0:
+                parent = (node - 1) // 2
+                if self.split_feature[parent] < 0:
+                    raise TrainingError(f"leaf {node} has a non-internal parent")
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def leaf_of(self, X: CSRMatrix) -> np.ndarray:
+        """The leaf slot each instance reaches (vectorized, level by level)."""
+        if self.split_feature[0] == UNUSED:
+            raise TrainingError("tree has no root")
+        n = X.n_rows
+        node_of = np.zeros(n, dtype=np.int64)
+        col_indptr, row_indices, values = X.to_csc()
+        dense_col = np.zeros(n, dtype=np.float64)
+        for _ in range(self.max_depth - 1):
+            feats = self.split_feature[node_of]
+            active = feats >= 0
+            if not active.any():
+                break
+            goes_left = np.zeros(n, dtype=bool)
+            for f in np.unique(feats[active]):
+                if f >= X.n_cols:
+                    # Feature beyond this matrix's width: value is 0.
+                    col_rows = np.empty(0, dtype=np.int64)
+                else:
+                    lo, hi = col_indptr[f], col_indptr[f + 1]
+                    col_rows = row_indices[lo:hi]
+                    dense_col[col_rows] = values[lo:hi]
+                at_f = active & (feats == f)
+                goes_left[at_f] = (
+                    dense_col[at_f] < self.split_value[node_of[at_f]]
+                )
+                if f < X.n_cols:
+                    dense_col[col_rows] = 0.0
+            node_of = np.where(
+                active,
+                np.where(goes_left, 2 * node_of + 1, 2 * node_of + 2),
+                node_of,
+            )
+        return node_of
+
+    def predict(self, X: CSRMatrix) -> np.ndarray:
+        """Leaf weight of every instance."""
+        return self.weight[self.leaf_of(X)]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready structure (per-node stats included when present)."""
+        nodes = []
+        for node in range(self.max_nodes):
+            state = int(self.split_feature[node])
+            if state == UNUSED:
+                continue
+            entry: dict[str, Any] = {"id": node}
+            if state == LEAF:
+                entry["weight"] = float(self.weight[node])
+            else:
+                entry["feature"] = state
+                entry["value"] = float(self.split_value[node])
+                if self.gain[node]:
+                    entry["gain"] = float(self.gain[node])
+            if self.cover[node]:
+                entry["cover"] = float(self.cover[node])
+            nodes.append(entry)
+        return {"max_depth": self.max_depth, "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RegressionTree":
+        """Inverse of :meth:`to_dict`."""
+        tree = cls(int(payload["max_depth"]))
+        for entry in payload["nodes"]:
+            node = int(entry["id"])
+            if "feature" in entry:
+                tree.set_split(
+                    node,
+                    int(entry["feature"]),
+                    float(entry["value"]),
+                    gain=float(entry.get("gain", 0.0)),
+                    cover=float(entry.get("cover", 0.0)),
+                )
+            else:
+                tree.set_leaf(
+                    node,
+                    float(entry["weight"]),
+                    cover=float(entry.get("cover", 0.0)),
+                )
+        return tree
+
+    def to_text(self) -> str:
+        """Human-readable dump, one indented line per node.
+
+        Example::
+
+            0: [f213 < 0.4948] gain=113.14 cover=900.0
+              1: [f85 < 0.8253] gain=12.3 cover=450.2
+                3: leaf=0.2926
+                ...
+        """
+        if self.split_feature[0] == UNUSED:
+            raise TrainingError("tree has no root")
+        lines: list[str] = []
+
+        def visit(node: int, depth: int) -> None:
+            indent = "  " * depth
+            state = int(self.split_feature[node])
+            if state == LEAF:
+                line = f"{indent}{node}: leaf={self.weight[node]:.6g}"
+                if self.cover[node]:
+                    line += f" cover={self.cover[node]:.6g}"
+                lines.append(line)
+                return
+            line = (
+                f"{indent}{node}: [f{state} < {self.split_value[node]:.6g}]"
+            )
+            if self.gain[node]:
+                line += f" gain={self.gain[node]:.6g}"
+            if self.cover[node]:
+                line += f" cover={self.cover[node]:.6g}"
+            lines.append(line)
+            visit(2 * node + 1, depth + 1)
+            visit(2 * node + 2, depth + 1)
+
+        visit(0, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegressionTree(max_depth={self.max_depth}, "
+            f"internal={self.n_internal}, leaves={self.n_leaves})"
+        )

@@ -1,0 +1,87 @@
+"""Tests for randomized PCA over CSR matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_pca
+from repro.datasets import CSRMatrix
+from repro.errors import DataError
+
+
+def low_rank_matrix(n=80, m=30, rank=4, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, rank)) @ rng.normal(size=(rank, m))
+    A[np.abs(A) < 0.3] = 0.0  # sparsify
+    return A.astype(np.float32)
+
+
+class TestFit:
+    def test_matches_full_svd_singular_values(self):
+        dense = low_rank_matrix()
+        X = CSRMatrix.from_dense(dense)
+        model = fit_pca(X, k=4, seed=1)
+        exact = np.linalg.svd(dense.astype(np.float64), compute_uv=False)[:4]
+        np.testing.assert_allclose(model.singular_values, exact, rtol=1e-3)
+
+    def test_components_orthonormal(self):
+        X = CSRMatrix.from_dense(low_rank_matrix())
+        model = fit_pca(X, k=5, seed=2)
+        gram = model.components.T @ model.components
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-8)
+
+    def test_reconstruction_captures_low_rank(self):
+        dense = low_rank_matrix(rank=3)
+        X = CSRMatrix.from_dense(dense)
+        model = fit_pca(X, k=3, seed=3)
+        projected = model.transform(X)
+        reconstructed = projected @ model.components.T
+        rel_err = np.linalg.norm(reconstructed - dense) / np.linalg.norm(dense)
+        assert rel_err < 0.05
+
+    def test_k_bounds(self):
+        X = CSRMatrix.from_dense(low_rank_matrix(n=10, m=5))
+        with pytest.raises(DataError):
+            fit_pca(X, k=0)
+        with pytest.raises(DataError):
+            fit_pca(X, k=6)
+
+    def test_deterministic(self):
+        X = CSRMatrix.from_dense(low_rank_matrix())
+        a = fit_pca(X, k=3, seed=7)
+        b = fit_pca(X, k=3, seed=7)
+        np.testing.assert_array_equal(a.components, b.components)
+
+
+class TestTransform:
+    def test_shapes(self):
+        X = CSRMatrix.from_dense(low_rank_matrix())
+        model = fit_pca(X, k=4)
+        assert model.transform(X).shape == (X.n_rows, 4)
+        assert model.k == 4
+
+    def test_feature_mismatch(self):
+        X = CSRMatrix.from_dense(low_rank_matrix(m=30))
+        model = fit_pca(X, k=3)
+        other = CSRMatrix.from_rows([[]], n_cols=7)
+        with pytest.raises(DataError):
+            model.transform(other)
+
+    def test_transform_dataset(self, tiny_dataset):
+        model = fit_pca(tiny_dataset.X, k=6)
+        reduced = model.transform_dataset(tiny_dataset)
+        assert reduced.n_features == 6
+        assert reduced.n_instances == tiny_dataset.n_instances
+        np.testing.assert_array_equal(reduced.y, tiny_dataset.y)
+        assert "pca6" in reduced.name
+
+    def test_reduced_data_trainable(self, tiny_dataset):
+        """The Table 6 pipeline: PCA -> GBDT must run end to end."""
+        from repro import GBDT, TrainConfig
+
+        model = fit_pca(tiny_dataset.X, k=6)
+        reduced = model.transform_dataset(tiny_dataset)
+        trainer = GBDT(TrainConfig(n_trees=2, max_depth=3))
+        gbdt_model = trainer.fit(reduced)
+        assert gbdt_model.n_trees == 2

@@ -1,0 +1,126 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    ResultTable,
+    ascii_bars,
+    chart_for,
+    format_cell,
+    load_results,
+    markdown_table,
+    render_report,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    tables = [
+        {
+            "title": "Table X: systems",
+            "header": ["system", "sim seconds", "test error"],
+            "rows": [["mllib", 2.5, 0.28], ["dimboost", 0.4, 0.29]],
+            "notes": "a note",
+        },
+        {
+            "title": "Table X — convergence",
+            "header": ["system", "tree", "sim elapsed", "train error"],
+            "rows": [["mllib", 0, 0.5, 0.3]],
+            "notes": "",
+        },
+    ]
+    for i, payload in enumerate(tables):
+        with open(tmp_path / f"t{i}.json", "w") as handle:
+            json.dump(payload, handle)
+    return tmp_path
+
+
+class TestResultTable:
+    def test_from_file(self, results_dir):
+        table = ResultTable.from_file(results_dir / "t0.json")
+        assert table.title == "Table X: systems"
+        assert len(table.rows) == 2
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"title": "x"}')
+        with pytest.raises(DataError, match="missing key"):
+            ResultTable.from_file(path)
+
+    def test_numeric_column(self, results_dir):
+        table = ResultTable.from_file(results_dir / "t0.json")
+        assert table.numeric_column("sim seconds") == [2.5, 0.4]
+        assert table.numeric_column("system") is None
+        assert table.numeric_column("nope") is None
+
+
+class TestRendering:
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.2345678) == "1.235"
+        assert format_cell(1e-9) == "1.000e-09"
+        assert format_cell("abc") == "abc"
+
+    def test_markdown_table_shape(self, results_dir):
+        table = ResultTable.from_file(results_dir / "t0.json")
+        md = markdown_table(table)
+        lines = md.splitlines()
+        assert lines[0].startswith("| system |")
+        assert lines[1] == "|---|---|---|"
+        assert len(lines) == 4
+
+    def test_ascii_bars_proportional(self):
+        chart = ascii_bars(["a", "b"], [4.0, 1.0])
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 4 * lines[1].count("#")
+
+    def test_ascii_bars_validation(self):
+        with pytest.raises(DataError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_chart_for_time_column(self, results_dir):
+        table = ResultTable.from_file(results_dir / "t0.json")
+        chart = chart_for(table)
+        assert chart is not None
+        assert "mllib" in chart
+
+    def test_chart_skips_convergence(self, results_dir):
+        table = ResultTable.from_file(results_dir / "t1.json")
+        assert chart_for(table) is None
+
+
+class TestReport:
+    def test_full_report(self, results_dir):
+        report = render_report(results_dir)
+        assert "# Reproduced tables and figures" in report
+        assert "## Table X: systems" in report
+        assert "*a note*" in report
+        assert "```" in report  # the chart block
+
+    def test_load_results_sorted(self, results_dir):
+        tables = load_results(results_dir)
+        titles = [t.title for t in tables]
+        assert titles == sorted(titles)
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(DataError, match="no result"):
+            render_report(tmp_path)
+
+    def test_not_a_dir(self, tmp_path):
+        with pytest.raises(DataError, match="not a directory"):
+            render_report(tmp_path / "nope")
+
+    def test_real_results_render(self):
+        """The actual bench outputs (when present) must render cleanly."""
+        import pathlib
+
+        results = pathlib.Path("benchmarks/results")
+        if not results.is_dir() or not list(results.glob("*.json")):
+            pytest.skip("bench results not generated yet")
+        report = render_report(results)
+        assert "Table 1" in report or "Figure" in report

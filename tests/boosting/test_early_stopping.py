@@ -1,0 +1,80 @@
+"""Tests for eval-set tracking and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.datasets import train_test_split
+from repro.errors import TrainingError
+
+
+class TestEvalSet:
+    def test_eval_metrics_recorded(self, small_dataset):
+        train, valid = train_test_split(small_dataset, seed=0)
+        trainer = GBDT(TrainConfig(n_trees=4, max_depth=4, learning_rate=0.3))
+        trainer.fit(train, eval_set=valid)
+        for record in trainer.history:
+            assert record.eval_loss is not None
+            assert record.eval_error is not None
+
+    def test_no_eval_set_leaves_none(self, small_dataset):
+        trainer = GBDT(TrainConfig(n_trees=2, max_depth=3))
+        trainer.fit(small_dataset)
+        assert all(r.eval_loss is None for r in trainer.history)
+
+    def test_eval_loss_tracks_predictions(self, small_dataset):
+        """The incremental eval_raw must equal full-model predictions."""
+        from repro.boosting.losses import get_loss
+
+        train, valid = train_test_split(small_dataset, seed=1)
+        trainer = GBDT(TrainConfig(n_trees=3, max_depth=4, learning_rate=0.3))
+        model = trainer.fit(train, eval_set=valid)
+        loss = get_loss("logistic")
+        expected = loss.loss(valid.y, model.predict_raw(valid.X))
+        assert trainer.history[-1].eval_loss == pytest.approx(expected, rel=1e-9)
+
+
+class TestEarlyStopping:
+    def test_requires_eval_set(self, small_dataset):
+        trainer = GBDT(TrainConfig(n_trees=4, max_depth=3))
+        with pytest.raises(TrainingError, match="eval_set"):
+            trainer.fit(small_dataset, early_stopping_rounds=2)
+
+    def test_rounds_validation(self, small_dataset):
+        train, valid = train_test_split(small_dataset, seed=0)
+        trainer = GBDT(TrainConfig(n_trees=4, max_depth=3))
+        with pytest.raises(TrainingError):
+            trainer.fit(train, eval_set=valid, early_stopping_rounds=0)
+
+    def test_stops_when_overfitting(self, small_dataset):
+        """With a large learning rate the eval loss turns; training must
+        stop early and truncate to the best round."""
+        train, valid = train_test_split(small_dataset, seed=2)
+        config = TrainConfig(n_trees=40, max_depth=6, learning_rate=1.0)
+        trainer = GBDT(config)
+        model = trainer.fit(train, eval_set=valid, early_stopping_rounds=3)
+        if len(trainer.history) < config.n_trees:
+            # Early stop triggered: the kept trees end at the best round.
+            best = int(
+                np.argmin([r.eval_loss for r in trainer.history])
+            )
+            assert model.n_trees == best + 1
+
+    def test_model_truncated_to_best(self, small_dataset):
+        train, valid = train_test_split(small_dataset, seed=3)
+        config = TrainConfig(n_trees=30, max_depth=6, learning_rate=1.0)
+        trainer = GBDT(config)
+        model = trainer.fit(train, eval_set=valid, early_stopping_rounds=2)
+        losses = [r.eval_loss for r in trainer.history]
+        assert model.n_trees == int(np.argmin(losses)) + 1
+
+    def test_no_stop_when_improving(self, small_dataset):
+        """A gentle learning rate keeps improving: all rounds run."""
+        train, valid = train_test_split(small_dataset, seed=4)
+        config = TrainConfig(n_trees=5, max_depth=4, learning_rate=0.1)
+        trainer = GBDT(config)
+        model = trainer.fit(train, eval_set=valid, early_stopping_rounds=5)
+        assert len(trainer.history) == 5
+        assert model.n_trees >= 1

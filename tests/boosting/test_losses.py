@@ -1,0 +1,110 @@
+"""Tests for the loss functions and their gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import LogisticLoss, SquaredLoss, get_loss
+from repro.errors import ConfigError
+
+
+def numeric_gradients(loss, y, raw, eps=1e-5):
+    """Central-difference first and second derivatives of the mean loss,
+    scaled back to per-instance derivatives."""
+    n = len(y)
+    g = np.empty(n)
+    h = np.empty(n)
+    for i in range(n):
+        plus, minus = raw.copy(), raw.copy()
+        plus[i] += eps
+        minus[i] -= eps
+        lp, lm, l0 = (
+            loss.loss(y, plus) * n,
+            loss.loss(y, minus) * n,
+            loss.loss(y, raw) * n,
+        )
+        g[i] = (lp - lm) / (2 * eps)
+        h[i] = (lp - 2 * l0 + lm) / (eps * eps)
+    return g, h
+
+
+class TestLogistic:
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(0)
+        loss = LogisticLoss()
+        y = (rng.random(10) < 0.5).astype(np.float64)
+        raw = rng.normal(size=10)
+        g, h = loss.gradients(y, raw)
+        g_num, h_num = numeric_gradients(loss, y, raw)
+        np.testing.assert_allclose(g, g_num, atol=1e-5)
+        np.testing.assert_allclose(h, h_num, atol=1e-3)
+
+    def test_gradient_signs(self):
+        loss = LogisticLoss()
+        g, h = loss.gradients(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert g[0] < 0  # positive label pushes prediction up
+        assert g[1] > 0
+        assert np.all(h > 0)
+
+    def test_base_score_is_prior_logodds(self):
+        loss = LogisticLoss()
+        y = np.array([1.0, 1.0, 1.0, 0.0])
+        assert loss.base_score(y) == pytest.approx(np.log(3.0))
+
+    def test_base_score_degenerate_labels(self):
+        loss = LogisticLoss()
+        assert np.isfinite(loss.base_score(np.ones(5)))
+        assert np.isfinite(loss.base_score(np.zeros(5)))
+
+    def test_transform_is_sigmoid(self):
+        loss = LogisticLoss()
+        np.testing.assert_allclose(
+            loss.transform(np.array([0.0])), [0.5], atol=1e-12
+        )
+
+    def test_loss_stable_at_extremes(self):
+        loss = LogisticLoss()
+        value = loss.loss(np.array([1.0, 0.0]), np.array([1000.0, -1000.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_loss_decreases_toward_label(self):
+        loss = LogisticLoss()
+        y = np.array([1.0])
+        worse = loss.loss(y, np.array([-1.0]))
+        better = loss.loss(y, np.array([1.0]))
+        assert better < worse
+
+
+class TestSquared:
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(1)
+        loss = SquaredLoss()
+        y = rng.normal(size=8)
+        raw = rng.normal(size=8)
+        g, h = loss.gradients(y, raw)
+        g_num, h_num = numeric_gradients(loss, y, raw)
+        # loss() is (y - raw)^2, so dl/draw = 2 (raw - y); the trainer's
+        # convention drops the 2 (absorbed into the learning rate).
+        np.testing.assert_allclose(2 * g, g_num, atol=1e-5)
+        np.testing.assert_allclose(2 * h, h_num, atol=1e-3)
+
+    def test_base_score_is_mean(self):
+        loss = SquaredLoss()
+        assert loss.base_score(np.array([1.0, 2.0, 6.0])) == pytest.approx(3.0)
+
+    def test_transform_identity(self):
+        loss = SquaredLoss()
+        raw = np.array([1.5, -2.0])
+        np.testing.assert_array_equal(loss.transform(raw), raw)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_loss("logistic").name == "logistic"
+        assert get_loss("squared").name == "squared"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            get_loss("hinge")

@@ -1,0 +1,104 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting import accuracy, auc, error_rate, logloss, rmse
+from repro.errors import DataError
+
+
+class TestErrorRate:
+    def test_hand_case(self):
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        p = np.array([0.9, 0.2, 0.4, 0.6])
+        assert error_rate(y, p) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        y = np.array([1.0, 0.0])
+        assert error_rate(y, np.array([0.99, 0.01])) == 0.0
+
+    def test_accuracy_complement(self):
+        y = np.array([1.0, 0.0, 1.0])
+        p = np.array([0.9, 0.9, 0.9])
+        assert accuracy(y, p) == pytest.approx(1.0 - error_rate(y, p))
+
+    def test_threshold(self):
+        y = np.array([1.0])
+        assert error_rate(y, np.array([0.3]), threshold=0.25) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            error_rate(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        with pytest.raises(DataError):
+            error_rate(np.array([]), np.array([]))
+
+
+class TestLogloss:
+    def test_hand_case(self):
+        y = np.array([1.0, 0.0])
+        p = np.array([0.8, 0.8])
+        expected = -(np.log(0.8) + np.log(0.2)) / 2
+        assert logloss(y, p) == pytest.approx(expected)
+
+    def test_clipping_prevents_infinity(self):
+        y = np.array([1.0])
+        assert np.isfinite(logloss(y, np.array([0.0])))
+
+
+class TestRmse:
+    def test_hand_case(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_zero_for_exact(self):
+        y = np.array([1.0, 2.0])
+        assert rmse(y, y) == 0.0
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(y, s) == 1.0
+
+    def test_inverted_ranking(self):
+        y = np.array([0.0, 1.0])
+        s = np.array([0.9, 0.1])
+        assert auc(y, s) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(4000) < 0.5).astype(float)
+        s = rng.random(4000)
+        assert auc(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_half_credit(self):
+        y = np.array([0.0, 1.0])
+        s = np.array([0.5, 0.5])
+        assert auc(y, s) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = (rng.random(50) < 0.4).astype(float)
+        s = rng.normal(size=50)
+        pos = s[y > 0.5]
+        neg = s[y <= 0.5]
+        wins = sum(
+            1.0 if p > n else 0.5 if p == n else 0.0 for p in pos for n in neg
+        )
+        assert auc(y, s) == pytest.approx(wins / (len(pos) * len(neg)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            auc(np.ones(3), np.zeros(3))
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(2)
+        y = (rng.random(100) < 0.5).astype(float)
+        s = rng.normal(size=100)
+        assert auc(y, s) == pytest.approx(auc(y, 1 / (1 + np.exp(-s))))

@@ -1,0 +1,47 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SimClock
+from repro.errors import CommunicationError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        clock = SimClock()
+        assert clock.time == 0.0
+        assert clock.communication == 0.0
+        assert clock.computation == 0.0
+
+    def test_comm_and_compute_tracked_separately(self):
+        clock = SimClock()
+        clock.advance_comm(1.5)
+        clock.advance_compute(0.5)
+        assert clock.communication == pytest.approx(1.5)
+        assert clock.computation == pytest.approx(0.5)
+        assert clock.time == pytest.approx(2.0)
+
+    def test_barrier_charges_max(self):
+        clock = SimClock()
+        charged = clock.barrier([0.1, 0.7, 0.3])
+        assert charged == pytest.approx(0.7)
+        assert clock.computation == pytest.approx(0.7)
+
+    def test_barrier_empty(self):
+        clock = SimClock()
+        assert clock.barrier([]) == 0.0
+        assert clock.time == 0.0
+
+    def test_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(CommunicationError):
+            clock.advance_comm(-1.0)
+        with pytest.raises(CommunicationError):
+            clock.advance_compute(-0.1)
+
+    def test_repr(self):
+        clock = SimClock()
+        clock.advance_comm(1.0)
+        assert "comm=1.0" in repr(clock)

@@ -1,0 +1,125 @@
+"""Tests for the per-block (per-feature-histogram) codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    BlockCompressedHistogram,
+    compress_blocked,
+    compress_flat,
+    decompress_blocked,
+    decompress_flat,
+)
+from repro.errors import DataError
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([2, 4, 8, 16]),
+        st.sampled_from([1, 4, 10, 20]),
+    )
+    def test_per_block_error_bound(self, seed, bits, block_size):
+        """Error in each block is bounded by that block's own scale."""
+        rng = np.random.default_rng(seed)
+        n_blocks = int(rng.integers(1, 8))
+        values = rng.normal(size=n_blocks * block_size) * (
+            10.0 ** rng.integers(-2, 3)
+        )
+        compressed = compress_blocked(values, block_size, bits, rng)
+        decoded = decompress_blocked(compressed)
+        scale = (1 << (bits - 1)) - 1
+        blocks = values.reshape(n_blocks, block_size)
+        err = np.abs(decoded.reshape(n_blocks, block_size) - blocks)
+        bounds = np.abs(blocks).max(axis=1) / scale + 1e-12
+        assert np.all(err <= bounds[:, None] + 1e-9)
+
+    def test_zero_block_stays_zero(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate([np.zeros(4), np.ones(4)])
+        decoded = decompress_blocked(compress_blocked(values, 4, 8, rng))
+        np.testing.assert_array_equal(decoded[:4], np.zeros(4))
+
+    def test_heterogeneous_scales_beat_global_scale(self):
+        """The motivating case: one huge block next to tiny blocks."""
+        rng = np.random.default_rng(1)
+        tiny = rng.normal(size=20) * 0.01
+        huge = rng.normal(size=20) * 1000.0
+        values = np.concatenate([tiny, huge])
+        blocked = decompress_blocked(compress_blocked(values, 20, 8, rng))
+        flat = decompress_flat(compress_flat(values, 8, rng))
+        err_blocked = np.abs(blocked[:20] - tiny).max()
+        err_flat = np.abs(flat[:20] - tiny).max()
+        assert err_blocked < err_flat / 10
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(2)
+        values = np.array([0.1, -0.5, 3.0, -7.0])
+        acc = np.zeros_like(values)
+        trials = 4000
+        for _ in range(trials):
+            acc += decompress_blocked(compress_blocked(values, 2, 8, rng))
+        np.testing.assert_allclose(acc / trials, values, atol=5e-3)
+
+
+class TestWireFormat:
+    def test_wire_bytes_include_scales(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_blocked(np.ones(100), 20, 8, rng)
+        assert compressed.wire_bytes == 100 + 5 * 4  # payload + 5 scales
+
+    def test_ratio_accounts_for_scales(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_blocked(np.ones(400), 20, 8, rng)
+        assert compressed.compression_ratio == pytest.approx(
+            400 * 4 / (400 + 20 * 4)
+        )
+
+    def test_bit_packing_small_widths(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=40)
+        for bits in (2, 4):
+            compressed = compress_blocked(values, 8, bits, rng)
+            per_byte = 8 // bits
+            assert compressed.payload.nbytes == 40 // per_byte
+            decoded = decompress_blocked(compressed)
+            assert decoded.shape == values.shape
+
+    def test_dataclass(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_blocked(np.ones(8), 4, 8, rng)
+        assert isinstance(compressed, BlockCompressedHistogram)
+        assert compressed.block_size == 4
+        assert compressed.n_values == 8
+
+
+class TestValidation:
+    def test_length_not_multiple(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError, match="multiple"):
+            compress_blocked(np.ones(7), 3, 8, rng)
+
+    def test_bad_bits(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_blocked(np.ones(4), 2, 5, rng)
+
+    def test_bad_block_size(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_blocked(np.ones(4), 0, 8, rng)
+
+    def test_rejects_nan(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_blocked(np.array([1.0, np.nan]), 2, 8, rng)
+
+    def test_rejects_2d(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_blocked(np.ones((2, 2)), 2, 8, rng)

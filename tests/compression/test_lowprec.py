@@ -1,0 +1,103 @@
+"""Tests for the fixed-point histogram codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import CompressedHistogram, compress_flat, decompress_flat
+from repro.errors import DataError
+
+
+def value_arrays():
+    return st.lists(
+        st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    ).map(np.asarray)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(value_arrays(), st.sampled_from([2, 4, 8, 16]))
+    def test_error_bounded(self, values, bits):
+        """|decoded - input| <= |c| / (2**(bits-1) - 1) elementwise."""
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(values, bits, rng)
+        decoded = decompress_flat(compressed)
+        c = np.max(np.abs(values))
+        bound = c / ((1 << (bits - 1)) - 1) + 1e-12
+        np.testing.assert_array_less(np.abs(decoded - values), bound + 1e-9)
+
+    def test_zero_histogram(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(np.zeros(10), 8, rng)
+        assert compressed.scale_max == 0.0
+        np.testing.assert_array_equal(decompress_flat(compressed), np.zeros(10))
+
+    def test_extremes_exact(self):
+        """The max-magnitude elements encode exactly."""
+        rng = np.random.default_rng(1)
+        values = np.array([-3.0, 1.0, 3.0])
+        decoded = decompress_flat(compress_flat(values, 8, rng))
+        assert decoded[0] == pytest.approx(-3.0)
+        assert decoded[2] == pytest.approx(3.0)
+
+    def test_empty_array(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(np.array([]), 8, rng)
+        assert decompress_flat(compressed).shape == (0,)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "bits,expected_payload", [(2, 25), (4, 50), (8, 100), (16, 200)]
+    )
+    def test_payload_size(self, bits, expected_payload):
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(np.linspace(-1, 1, 100), bits, rng)
+        assert compressed.payload.nbytes == expected_payload
+        assert compressed.wire_bytes == expected_payload + 4
+
+    def test_compression_ratio_8bit(self):
+        """d = 8 gives the paper's 32/8 = 4x ratio (minus the scale word)."""
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(np.linspace(-1, 1, 4000), 8, rng)
+        assert compressed.compression_ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_bit_packing_roundtrip_small_widths(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=33)  # odd length exercises padding
+        for bits in (2, 4):
+            compressed = compress_flat(values, bits, rng)
+            decoded = decompress_flat(compressed)
+            assert decoded.shape == values.shape
+            c = np.max(np.abs(values))
+            bound = c / ((1 << (bits - 1)) - 1)
+            assert np.all(np.abs(decoded - values) <= bound + 1e-9)
+
+
+class TestValidation:
+    def test_unsupported_bits(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_flat(np.ones(4), 3, rng)
+
+    def test_rejects_2d(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_flat(np.ones((2, 2)), 8, rng)
+
+    def test_rejects_nan(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError):
+            compress_flat(np.array([1.0, np.nan]), 8, rng)
+
+    def test_dataclass_fields(self):
+        rng = np.random.default_rng(0)
+        compressed = compress_flat(np.ones(5), 8, rng)
+        assert isinstance(compressed, CompressedHistogram)
+        assert compressed.n_values == 5
+        assert compressed.bits == 8

@@ -1,0 +1,102 @@
+"""Empirical verification of the Appendix A.1 unbiasedness result.
+
+The paper proves that the low-precision histogram keeps the expected
+bucket sums — and hence the expected objective gain — unchanged.  These
+tests verify the estimator is unbiased and that downstream split gains
+stay centred on their full-precision values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import compress_flat, decompress_flat
+
+
+class TestUnbiasedness:
+    def test_mean_of_decoded_converges(self):
+        """Averaging many independent encodings recovers the input."""
+        rng = np.random.default_rng(0)
+        values = np.array([0.123, -0.456, 0.789, -0.999, 0.001, 0.25])
+        n_trials = 4000
+        acc = np.zeros_like(values)
+        for _ in range(n_trials):
+            acc += decompress_flat(compress_flat(values, 8, rng))
+        mean = acc / n_trials
+        # Std error of the mean ~ (c / 127) / sqrt(12 * n_trials) ~ 1e-4.
+        np.testing.assert_allclose(mean, values, atol=6e-4)
+
+    def test_unbiased_for_2bit(self):
+        """Even the coarsest width is unbiased (errors just get bigger)."""
+        rng = np.random.default_rng(1)
+        values = np.array([0.3, -0.7, 1.0])
+        n_trials = 8000
+        acc = np.zeros_like(values)
+        for _ in range(n_trials):
+            acc += decompress_flat(compress_flat(values, 2, rng))
+        np.testing.assert_allclose(acc / n_trials, values, atol=0.02)
+
+    def test_bucket_prefix_sums_unbiased(self):
+        """G_L = sum of left buckets stays unbiased after quantization —
+        the quantity Appendix A.1 reasons about."""
+        rng = np.random.default_rng(2)
+        buckets = rng.normal(size=20)
+        true_prefix = np.cumsum(buckets)
+        n_trials = 3000
+        acc = np.zeros_like(true_prefix)
+        for _ in range(n_trials):
+            decoded = decompress_flat(compress_flat(buckets, 8, rng))
+            acc += np.cumsum(decoded)
+        np.testing.assert_allclose(acc / n_trials, true_prefix, atol=0.01)
+
+    def test_gain_expectation_close(self):
+        """The argmax-gain of the decoded histogram matches full precision
+        almost always at d = 8 (the paper's 'no loss on final accuracy')."""
+        from repro.datasets import CSRMatrix
+        from repro.histogram import BinnedShard, build_node_histogram_sparse
+        from repro.sketch import propose_candidates
+        from repro.tree.split import find_best_split
+        from repro.histogram.histogram import GradientHistogram
+
+        rng = np.random.default_rng(3)
+        dense = (rng.random((200, 10)) < 0.5) * rng.normal(size=(200, 10))
+        X = CSRMatrix.from_dense(dense.astype(np.float32))
+        cand = propose_candidates(X, max_bins=6)
+        shard = BinnedShard(X, cand)
+        # Gradients driven by feature 3, so its split gain dominates and
+        # quantization noise cannot flip the argmax (the A.1 setting:
+        # the expected gain landscape is preserved).
+        g = np.where(dense[:, 3] > 0.0, -2.0, 2.0) + 0.1 * rng.normal(size=200)
+        h = np.ones(200)
+        hist = build_node_histogram_sparse(shard, np.arange(200), g, h)
+        exact = find_best_split(hist, cand, reg_lambda=1.0)
+        assert exact is not None
+        assert exact.feature == 3
+
+        feature_agree = 0
+        gain_ratios = []
+        n_trials = 50
+        for _ in range(n_trials):
+            flat = hist.to_flat_feature_major()
+            decoded = decompress_flat(compress_flat(flat, 8, rng))
+            noisy = GradientHistogram.from_flat_feature_major(
+                decoded, X.n_cols, cand.max_bins
+            )
+            approx = find_best_split(noisy, cand, reg_lambda=1.0)
+            assert approx is not None
+            if approx.feature == exact.feature:
+                feature_agree += 1
+            gain_ratios.append(approx.gain / exact.gain)
+        assert feature_agree >= int(0.9 * n_trials)
+        # The recovered best gain is centred on the true one.
+        assert abs(float(np.mean(gain_ratios)) - 1.0) < 0.05
+
+    def test_error_variance_shrinks_with_bits(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=500)
+        errors = {}
+        for bits in (2, 4, 8, 16):
+            decoded = decompress_flat(compress_flat(values, bits, rng))
+            errors[bits] = float(np.mean((decoded - values) ** 2))
+        assert errors[2] > errors[4] > errors[8] > errors[16]

@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic datasets and derived structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.datasets import Dataset, CSRMatrix, SyntheticSpec, make_sparse_classification
+from repro.histogram.binned import BinnedShard
+from repro.sketch.candidates import CandidateSet, propose_candidates
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """300 x 40 sparse classification dataset, ~8 nonzeros per row."""
+    spec = SyntheticSpec(
+        n_instances=300,
+        n_features=40,
+        avg_nnz=8,
+        n_informative=10,
+        name="tiny",
+    )
+    return make_sparse_classification(spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """2000 x 300 sparse classification dataset, ~20 nonzeros per row."""
+    spec = SyntheticSpec(
+        n_instances=2000,
+        n_features=300,
+        avg_nnz=20,
+        n_informative=30,
+        name="small",
+    )
+    return make_sparse_classification(spec, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_candidates(tiny_dataset) -> CandidateSet:
+    return propose_candidates(tiny_dataset.X, max_bins=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_shard(tiny_dataset, tiny_candidates) -> BinnedShard:
+    return BinnedShard(tiny_dataset.X, tiny_candidates)
+
+
+@pytest.fixture(scope="session")
+def small_candidates(small_dataset) -> CandidateSet:
+    return propose_candidates(small_dataset.X, max_bins=16)
+
+
+@pytest.fixture(scope="session")
+def small_shard(small_dataset, small_candidates) -> BinnedShard:
+    return BinnedShard(small_dataset.X, small_candidates)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture()
+def fast_config() -> TrainConfig:
+    """A quick-training config for integration tests."""
+    return TrainConfig(
+        n_trees=3,
+        max_depth=4,
+        n_split_candidates=8,
+        learning_rate=0.3,
+        compression_bits=0,
+    )
+
+
+def make_matrix(rows: list[list[tuple[int, float]]], n_cols: int) -> CSRMatrix:
+    """Helper: CSR from a literal list of (index, value) rows."""
+    return CSRMatrix.from_rows(rows, n_cols)

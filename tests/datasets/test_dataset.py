@@ -1,0 +1,103 @@
+"""Tests for the Dataset container and train/test split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSRMatrix, Dataset, train_test_split
+from repro.errors import DataError
+
+
+def _dataset(n: int = 10, m: int = 6) -> Dataset:
+    rng = np.random.default_rng(0)
+    dense = (rng.random((n, m)) < 0.4) * rng.random((n, m))
+    return Dataset(
+        CSRMatrix.from_dense(dense.astype(np.float32)),
+        (rng.random(n) < 0.5).astype(np.float32),
+        "unit",
+    )
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        data = _dataset(10, 6)
+        assert data.n_instances == 10
+        assert data.n_features == 6
+        assert data.avg_nnz == data.X.nnz / 10
+
+    def test_label_length_mismatch(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], []], n_cols=2)
+        with pytest.raises(DataError, match="label count"):
+            Dataset(X, np.zeros(3, dtype=np.float32))
+
+    def test_labels_must_be_1d(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError, match="1-D"):
+            Dataset(X, np.zeros((1, 1), dtype=np.float32))
+
+    def test_take_preserves_pairing(self):
+        data = _dataset(10, 6)
+        sub = data.take(np.array([3, 1, 7]))
+        assert sub.n_instances == 3
+        np.testing.assert_array_equal(sub.y, data.y[[3, 1, 7]])
+        np.testing.assert_array_equal(
+            sub.X.to_dense(), data.X.to_dense()[[3, 1, 7]]
+        )
+
+    def test_first_features_prefix(self):
+        data = _dataset(12, 8)
+        sub = data.first_features(3)
+        assert sub.n_features == 3
+        np.testing.assert_array_equal(
+            sub.X.to_dense(), data.X.to_dense()[:, :3]
+        )
+        np.testing.assert_array_equal(sub.y, data.y)
+
+    def test_first_features_bounds(self):
+        data = _dataset(5, 4)
+        with pytest.raises(DataError):
+            data.first_features(0)
+        with pytest.raises(DataError):
+            data.first_features(5)
+
+    def test_first_features_full_is_identity(self):
+        data = _dataset(5, 4)
+        sub = data.first_features(4)
+        np.testing.assert_array_equal(sub.X.to_dense(), data.X.to_dense())
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        data = _dataset(100, 5)
+        train, test = train_test_split(data, test_fraction=0.1, seed=1)
+        assert test.n_instances == 10
+        assert train.n_instances == 90
+
+    def test_disjoint_and_complete(self):
+        data = _dataset(50, 5)
+        # Tag each row with a unique label to track identity.
+        tagged = Dataset(data.X, np.arange(50, dtype=np.float32), "tagged")
+        train, test = train_test_split(tagged, test_fraction=0.2, seed=3)
+        combined = sorted(np.concatenate([train.y, test.y]).tolist())
+        assert combined == list(range(50))
+
+    def test_deterministic(self):
+        data = _dataset(50, 5)
+        a = train_test_split(data, seed=5)
+        b = train_test_split(data, seed=5)
+        np.testing.assert_array_equal(a[0].y, b[0].y)
+
+    def test_seed_changes_split(self):
+        data = _dataset(200, 5)
+        tagged = Dataset(data.X, np.arange(200, dtype=np.float32), "tagged")
+        a, _ = train_test_split(tagged, seed=1)
+        b, _ = train_test_split(tagged, seed=2)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_invalid_fraction(self):
+        data = _dataset(10, 5)
+        with pytest.raises(DataError):
+            train_test_split(data, test_fraction=0.0)
+        with pytest.raises(DataError):
+            train_test_split(data, test_fraction=1.0)

@@ -1,0 +1,55 @@
+"""Tests for row partitioning over workers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticSpec, make_sparse_classification, partition_rows
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticSpec(n_instances=103, n_features=40, avg_nnz=6)
+    return make_sparse_classification(spec, seed=0)
+
+
+class TestPartitionRows:
+    def test_shard_count(self, data):
+        shards = partition_rows(data, 4)
+        assert len(shards) == 4
+
+    def test_sizes_balanced(self, data):
+        shards = partition_rows(data, 4)
+        sizes = [s.n_instances for s in shards]
+        assert sum(sizes) == data.n_instances
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_concatenation_recovers_dataset(self, data):
+        shards = partition_rows(data, 5)
+        y = np.concatenate([s.y for s in shards])
+        np.testing.assert_array_equal(y, data.y)
+        dense = np.vstack([s.X.to_dense() for s in shards])
+        np.testing.assert_array_equal(dense, data.X.to_dense())
+
+    def test_single_worker(self, data):
+        shards = partition_rows(data, 1)
+        assert shards[0].n_instances == data.n_instances
+
+    def test_feature_count_preserved(self, data):
+        for shard in partition_rows(data, 3):
+            assert shard.n_features == data.n_features
+
+    def test_too_many_workers(self, data):
+        with pytest.raises(DataError, match="cannot partition"):
+            partition_rows(data, data.n_instances + 1)
+
+    def test_invalid_worker_count(self, data):
+        with pytest.raises(DataError):
+            partition_rows(data, 0)
+
+    def test_shard_names(self, data):
+        shards = partition_rows(data, 2)
+        assert shards[0].name.endswith("shard0")
+        assert shards[1].name.endswith("shard1")

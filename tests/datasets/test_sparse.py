@@ -1,0 +1,216 @@
+"""Unit and property tests for the from-scratch CSR matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import CSRMatrix
+from repro.errors import DataError
+
+
+def dense_arrays(max_rows: int = 12, max_cols: int = 10):
+    """Hypothesis strategy: small float32 matrices with many zeros."""
+    return st.integers(1, max_rows).flatmap(
+        lambda r: st.integers(1, max_cols).flatmap(
+            lambda c: st.lists(
+                st.lists(
+                    st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.5, 0.75, 3.25]),
+                    min_size=c,
+                    max_size=c,
+                ),
+                min_size=r,
+                max_size=r,
+            ).map(lambda rows: np.asarray(rows, dtype=np.float32))
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_rows_basic(self):
+        X = CSRMatrix.from_rows([[(1, 2.0), (3, 4.0)], [(0, 1.0)]], n_cols=5)
+        assert X.shape == (2, 5)
+        assert X.nnz == 3
+        idx, val = X.row(0)
+        assert list(idx) == [1, 3]
+        assert list(val) == [2.0, 4.0]
+
+    def test_from_rows_sorts_indices(self):
+        X = CSRMatrix.from_rows([[(3, 4.0), (1, 2.0)]], n_cols=5)
+        idx, val = X.row(0)
+        assert list(idx) == [1, 3]
+        assert list(val) == [2.0, 4.0]
+
+    def test_from_rows_rejects_duplicates(self):
+        with pytest.raises(DataError, match="duplicate"):
+            CSRMatrix.from_rows([[(1, 2.0), (1, 3.0)]], n_cols=5)
+
+    def test_empty_matrix(self):
+        X = CSRMatrix.from_rows([], n_cols=3)
+        assert X.shape == (0, 3)
+        assert X.nnz == 0
+        assert X.to_dense().shape == (0, 3)
+
+    def test_empty_rows(self):
+        X = CSRMatrix.from_rows([[], [(2, 1.0)], []], n_cols=4)
+        assert X.row_nnz().tolist() == [0, 1, 0]
+
+    def test_from_dense_drops_zeros(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]], dtype=np.float32)
+        X = CSRMatrix.from_dense(dense)
+        assert X.nnz == 2
+        np.testing.assert_array_equal(X.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(DataError, match="2-D"):
+            CSRMatrix.from_dense(np.zeros(4))
+
+    def test_validation_indptr_length(self):
+        with pytest.raises(DataError, match="indptr"):
+            CSRMatrix(
+                np.array([0, 1]),
+                np.array([0]),
+                np.array([1.0]),
+                shape=(2, 3),
+            )
+
+    def test_validation_index_out_of_range(self):
+        with pytest.raises(DataError, match="column indices"):
+            CSRMatrix(
+                np.array([0, 1]),
+                np.array([5]),
+                np.array([1.0]),
+                shape=(1, 3),
+            )
+
+    def test_validation_nonmonotone_indptr(self):
+        with pytest.raises(DataError, match="non-decreasing"):
+            CSRMatrix(
+                np.array([0, 2, 1]),
+                np.array([0]),
+                np.array([1.0]),
+                shape=(2, 3),
+            )
+
+    def test_validation_indptr_nnz_mismatch(self):
+        with pytest.raises(DataError, match="nnz"):
+            CSRMatrix(
+                np.array([0, 1, 3]),
+                np.array([0, 1]),
+                np.array([1.0, 2.0]),
+                shape=(2, 3),
+            )
+
+
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(dense_arrays())
+    def test_dense_roundtrip(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(X.to_dense(), dense)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_take_rows_matches_dense(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        ids = np.arange(X.n_rows - 1, -1, -1)  # reversed order
+        np.testing.assert_array_equal(X.take_rows(ids).to_dense(), dense[ids])
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_slice_rows_matches_dense(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        stop = max(1, X.n_rows // 2)
+        np.testing.assert_array_equal(
+            X.slice_rows(0, stop).to_dense(), dense[:stop]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_csc_roundtrip(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        col_indptr, row_indices, values = X.to_csc()
+        rebuilt = np.zeros_like(dense)
+        for c in range(X.n_cols):
+            lo, hi = col_indptr[c], col_indptr[c + 1]
+            rebuilt[row_indices[lo:hi], c] = values[lo:hi]
+        np.testing.assert_array_equal(rebuilt, dense)
+
+
+class TestAccessors:
+    def test_row_out_of_range(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError):
+            X.row(5)
+
+    def test_column_values(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 2.0)], [(1, 9.0)]], n_cols=2)
+        assert sorted(X.column_values(0)) == [1.0, 2.0]
+        assert list(X.column_values(1)) == [9.0]
+
+    def test_column_nnz(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 2.0)], [(1, 9.0)]], n_cols=3)
+        assert X.column_nnz().tolist() == [2, 1, 0]
+
+    def test_density(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], []], n_cols=2)
+        assert X.density() == pytest.approx(0.25)
+
+    def test_take_rows_out_of_range(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError):
+            X.take_rows(np.array([3]))
+
+    def test_slice_rows_invalid(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError):
+            X.slice_rows(1, 0)
+
+    def test_iter_rows(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(1, 2.0)]], n_cols=2)
+        rows = list(X.iter_rows())
+        assert len(rows) == 2
+        assert rows[1][0].tolist() == [1]
+
+    def test_equals(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        Y = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        Z = CSRMatrix.from_rows([[(1, 1.0)]], n_cols=2)
+        assert X.equals(Y)
+        assert not X.equals(Z)
+
+
+class TestLinearAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_matvec_matches_dense(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        v = np.linspace(-1, 1, X.n_cols)
+        np.testing.assert_allclose(X.matvec(v), dense.astype(np.float64) @ v, atol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_rmatvec_matches_dense(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        v = np.linspace(-1, 1, X.n_rows)
+        np.testing.assert_allclose(
+            X.rmatvec(v), dense.astype(np.float64).T @ v, atol=1e-6
+        )
+
+    def test_matvec_matrix_operand(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        X = CSRMatrix.from_dense(dense)
+        B = np.arange(6, dtype=np.float64).reshape(2, 3)
+        np.testing.assert_allclose(X.matvec(B), dense @ B)
+
+    def test_matvec_shape_check(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError, match="matvec"):
+            X.matvec(np.zeros(5))
+
+    def test_rmatvec_shape_check(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        with pytest.raises(DataError, match="rmatvec"):
+            X.rmatvec(np.zeros(5))

@@ -1,0 +1,120 @@
+"""Tests for the binary dataset storage levels (Section 7.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    CSRMatrix,
+    StorageLevel,
+    load_dataset,
+    save_dataset,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def saved(tmp_path, tiny_dataset):
+    path = tmp_path / "tiny.npz"
+    save_dataset(tiny_dataset, path)
+    return path, tiny_dataset
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("level", list(StorageLevel))
+    def test_all_levels_roundtrip(self, saved, level):
+        path, original = saved
+        loaded = load_dataset(path, level)
+        assert loaded.X.equals(original.X)
+        np.testing.assert_array_equal(loaded.y, original.y)
+        assert loaded.name == original.name
+
+    def test_weights_preserved(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(1, 2.0)]], n_cols=3)
+        data = Dataset(
+            X, np.array([0.0, 1.0], dtype=np.float32), "w",
+            weights=rng.random(2),
+        )
+        path = tmp_path / "w.npz"
+        save_dataset(data, path)
+        for level in StorageLevel:
+            loaded = load_dataset(path, level)
+            np.testing.assert_allclose(loaded.weights, data.weights)
+
+    def test_no_weights_stays_none(self, saved):
+        path, _ = saved
+        assert load_dataset(path).weights is None
+
+    @staticmethod
+    def _is_memmap_backed(arr) -> bool:
+        base = arr
+        while isinstance(base, np.ndarray):
+            if isinstance(base, np.memmap):
+                return True
+            base = base.base
+        return False
+
+    def test_disk_level_is_memmap_backed(self, saved):
+        path, _ = saved
+        loaded = load_dataset(path, StorageLevel.DISK)
+        assert self._is_memmap_backed(loaded.X.data)
+        assert self._is_memmap_backed(loaded.X.indices)
+
+    def test_memory_and_disk_splits_residency(self, saved):
+        path, _ = saved
+        loaded = load_dataset(path, StorageLevel.MEMORY_AND_DISK)
+        # Index structures are plain in-RAM arrays...
+        assert not self._is_memmap_backed(loaded.X.indptr)
+        assert not self._is_memmap_backed(loaded.X.indices)
+        # ...while the values stay mapped.
+        assert self._is_memmap_backed(loaded.X.data)
+
+
+class TestTrainOnDisk:
+    def test_training_works_at_every_level(self, saved):
+        from repro import GBDT, TrainConfig
+
+        path, _ = saved
+        config = TrainConfig(n_trees=2, max_depth=3)
+        raws = []
+        for level in StorageLevel:
+            data = load_dataset(path, level)
+            model = GBDT(config).fit(data)
+            raws.append(model.predict_raw(data.X))
+        np.testing.assert_allclose(raws[0], raws[1])
+        np.testing.assert_allclose(raws[0], raws[2])
+
+
+class TestValidation:
+    def test_not_a_dataset_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(DataError, match="missing meta"):
+            load_dataset(path)
+
+    def test_compressed_archive_rejected_for_disk(self, tmp_path, tiny_dataset):
+        path = tmp_path / "compressed.npz"
+        np.savez_compressed(
+            path,
+            indptr=tiny_dataset.X.indptr,
+            indices=tiny_dataset.X.indices,
+            data=tiny_dataset.X.data,
+            labels=tiny_dataset.y,
+            meta=np.frombuffer(
+                b'{"format": "repro-dataset-npz", "version": 1, "name": "x", '
+                b'"n_rows": %d, "n_cols": %d, "has_weights": false}'
+                % (tiny_dataset.n_instances, tiny_dataset.n_features),
+                dtype=np.uint8,
+            ),
+        )
+        with pytest.raises(DataError, match="compressed"):
+            load_dataset(path, StorageLevel.DISK)
+
+    def test_compressed_archive_fine_for_memory(self, tmp_path, tiny_dataset):
+        path = tmp_path / "compressed.npz"
+        save_dataset(tiny_dataset, path)  # uncompressed, but MEMORY works
+        loaded = load_dataset(path, StorageLevel.MEMORY)
+        assert loaded.n_instances == tiny_dataset.n_instances

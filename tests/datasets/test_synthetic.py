@@ -1,0 +1,120 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticSpec,
+    gender_like,
+    low_dim_like,
+    make_sparse_classification,
+    make_sparse_regression,
+    rcv1_like,
+    synthesis_like,
+)
+from repro.errors import DataError
+
+
+class TestSpecValidation:
+    def test_rejects_bad_instances(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(n_instances=0, n_features=10, avg_nnz=2)
+
+    def test_rejects_avg_nnz_above_features(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(n_instances=5, n_features=10, avg_nnz=20)
+
+    def test_rejects_informative_above_features(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(
+                n_instances=5, n_features=10, avg_nnz=2, n_informative=11
+            )
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(DataError):
+            SyntheticSpec(
+                n_instances=5, n_features=10, avg_nnz=2, label_noise=-1.0
+            )
+
+
+class TestClassification:
+    def test_shape_statistics(self):
+        spec = SyntheticSpec(
+            n_instances=2000, n_features=500, avg_nnz=25, name="stats"
+        )
+        data = make_sparse_classification(spec, seed=0)
+        assert data.n_instances == 2000
+        assert data.n_features == 500
+        # Poisson mean 25 with per-row dedup: stays close to the target.
+        assert 18 <= data.avg_nnz <= 27
+
+    def test_labels_binary(self):
+        spec = SyntheticSpec(n_instances=500, n_features=100, avg_nnz=10)
+        data = make_sparse_classification(spec, seed=1)
+        assert set(np.unique(data.y)) <= {0.0, 1.0}
+
+    def test_classes_roughly_balanced(self):
+        spec = SyntheticSpec(n_instances=3000, n_features=200, avg_nnz=15)
+        data = make_sparse_classification(spec, seed=2)
+        rate = float(data.y.mean())
+        assert 0.3 < rate < 0.7
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_instances=100, n_features=50, avg_nnz=5)
+        a = make_sparse_classification(spec, seed=9)
+        b = make_sparse_classification(spec, seed=9)
+        assert a.X.equals(b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        spec = SyntheticSpec(n_instances=100, n_features=50, avg_nnz=5)
+        a = make_sparse_classification(spec, seed=1)
+        b = make_sparse_classification(spec, seed=2)
+        assert not a.X.equals(b.X)
+
+    def test_rows_valid_csr(self):
+        spec = SyntheticSpec(n_instances=200, n_features=60, avg_nnz=6)
+        data = make_sparse_classification(spec, seed=3)
+        for idx, _vals in data.X.iter_rows():
+            assert np.all(np.diff(idx) > 0)  # sorted, no duplicates
+
+    def test_values_positive(self):
+        spec = SyntheticSpec(n_instances=200, n_features=60, avg_nnz=6)
+        data = make_sparse_classification(spec, seed=4)
+        assert np.all(data.X.data > 0)
+
+
+class TestRegression:
+    def test_labels_continuous(self):
+        spec = SyntheticSpec(n_instances=300, n_features=80, avg_nnz=8)
+        data = make_sparse_regression(spec, seed=5)
+        assert len(np.unique(data.y)) > 10
+
+    def test_signal_present(self):
+        # With zero noise, labels are an exact linear function of X, so
+        # the variance explained by the informative features is 100%.
+        spec = SyntheticSpec(
+            n_instances=300, n_features=80, avg_nnz=8, label_noise=0.0
+        )
+        data = make_sparse_regression(spec, seed=6)
+        assert np.std(data.y) > 0
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "factory", [rcv1_like, synthesis_like, gender_like, low_dim_like]
+    )
+    def test_presets_scale_down(self, factory):
+        data = factory(scale=0.02, seed=0)
+        assert data.n_instances >= 1
+        assert data.n_features >= 64
+        assert set(np.unique(data.y)) <= {0.0, 1.0}
+
+    def test_preset_names(self):
+        assert rcv1_like(scale=0.01).name == "rcv1-like"
+        assert gender_like(scale=0.01).name == "gender-like"
+
+    def test_low_dim_has_1000_features(self):
+        assert low_dim_like(scale=0.01).n_features == 1000

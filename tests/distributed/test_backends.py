@@ -1,0 +1,182 @@
+"""Tests for the aggregation backends in isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, TrainConfig
+from repro.cluster import SimClock
+from repro.distributed import BACKEND_NAMES, make_backend
+from repro.distributed.backends import DimBoostBackend, general_ps_push_time
+from repro.errors import TrainingError
+from repro.cluster.costmodel import CostParams
+
+
+@pytest.fixture(scope="module")
+def setup(small_dataset):
+    from repro.sketch import propose_candidates
+
+    candidates = propose_candidates(small_dataset.X, max_bins=8)
+    cluster = ClusterConfig(n_workers=4, n_servers=4)
+    config = TrainConfig(
+        n_trees=1, max_depth=3, n_split_candidates=8, compression_bits=0
+    )
+    return candidates, cluster, config
+
+
+def local_flats(candidates, w=4, seed=0):
+    rng = np.random.default_rng(seed)
+    flat_len = 2 * candidates.n_features * candidates.max_bins
+    flats = []
+    for _ in range(w):
+        grad = rng.normal(size=(candidates.n_features, candidates.max_bins))
+        hess = rng.random((candidates.n_features, candidates.max_bins))
+        # Node invariant: every feature row carries the same totals.
+        grad[:, -1] += grad[0].sum() - grad.sum(axis=1)
+        hess[:, -1] += hess[0].sum() - hess.sum(axis=1)
+        flat = np.stack([grad, hess], axis=1).ravel()
+        flats.append(flat)
+    del flat_len
+    return flats
+
+
+class TestAllBackendsAgree:
+    def test_same_split_decisions(self, setup):
+        """With exact aggregation, every system finds the same split."""
+        candidates, cluster, config = setup
+        flats = local_flats(candidates)
+        decisions = {}
+        for name in BACKEND_NAMES:
+            kwargs = {"compression_bits": 0} if name == "dimboost" else {}
+            backend = make_backend(name, cluster, config, candidates, **kwargs)
+            backend.begin_tree(0)
+            clock = SimClock()
+            backend.aggregate_node(0, [f.copy() for f in flats], clock)
+            result = backend.find_splits([0], None, clock)
+            decisions[name] = result[0]
+        features = {d.feature for d in decisions.values() if d is not None}
+        buckets = {d.bucket for d in decisions.values() if d is not None}
+        assert len(features) == 1
+        assert len(buckets) == 1
+        gains = [d.gain for d in decisions.values()]
+        np.testing.assert_allclose(gains, gains[0], rtol=1e-9)
+
+    def test_all_charge_time(self, setup):
+        candidates, cluster, config = setup
+        flats = local_flats(candidates)
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, cluster, config, candidates)
+            backend.begin_tree(0)
+            clock = SimClock()
+            backend.aggregate_node(0, [f.copy() for f in flats], clock)
+            backend.find_splits([0], None, clock)
+            assert clock.time > 0, name
+
+    def test_unknown_backend(self, setup):
+        candidates, cluster, config = setup
+        with pytest.raises(TrainingError, match="unknown system"):
+            make_backend("catboost", cluster, config, candidates)
+
+
+class TestDimBoostOptions:
+    def test_two_phase_equals_full_pull(self, setup):
+        candidates, cluster, config = setup
+        flats = local_flats(candidates, seed=1)
+        decisions = []
+        for two_phase in (True, False):
+            backend = make_backend(
+                "dimboost",
+                cluster,
+                config,
+                candidates,
+                two_phase=two_phase,
+                compression_bits=0,
+            )
+            backend.begin_tree(0)
+            clock = SimClock()
+            backend.aggregate_node(0, [f.copy() for f in flats], clock)
+            decisions.append(backend.find_splits([0], None, clock)[0])
+        assert decisions[0].feature == decisions[1].feature
+        assert decisions[0].bucket == decisions[1].bucket
+        assert decisions[0].gain == pytest.approx(decisions[1].gain, rel=1e-12)
+
+    def test_two_phase_cheaper_on_wire(self, setup):
+        candidates, cluster, config = setup
+        flats = local_flats(candidates, seed=2)
+        times = {}
+        for two_phase in (True, False):
+            backend = make_backend(
+                "dimboost",
+                cluster,
+                config,
+                candidates,
+                two_phase=two_phase,
+                compression_bits=0,
+            )
+            backend.begin_tree(0)
+            clock = SimClock()
+            backend.aggregate_node(0, [f.copy() for f in flats], clock)
+            backend.find_splits([0], None, clock)
+            times[two_phase] = clock.time
+        assert times[True] < times[False]
+
+    def test_compression_shrinks_comm(self, setup):
+        candidates, cluster, config = setup
+        flats = local_flats(candidates, seed=3)
+        comm = {}
+        for bits in (0, 8):
+            backend = make_backend(
+                "dimboost", cluster, config, candidates, compression_bits=bits
+            )
+            backend.begin_tree(0)
+            clock = SimClock()
+            backend.aggregate_node(0, [f.copy() for f in flats], clock)
+            comm[bits] = clock.communication
+        assert comm[8] < comm[0]
+
+    def test_scheduler_balances_workers(self, setup):
+        """Round-robin splits a many-node layer faster than one agent."""
+        candidates, cluster, config = setup
+        times = {}
+        for use_scheduler in (True, False):
+            backend = make_backend(
+                "dimboost",
+                cluster,
+                config,
+                candidates,
+                use_scheduler=use_scheduler,
+                compression_bits=0,
+            )
+            backend.begin_tree(0)
+            clock = SimClock()
+            for node in range(8):
+                backend.aggregate_node(
+                    node, local_flats(candidates, seed=10 + node), clock
+                )
+            before = clock.time
+            backend.find_splits(list(range(8)), None, clock)
+            times[use_scheduler] = clock.time - before
+        assert times[True] < times[False]
+
+    def test_backend_is_dimboost_class(self, setup):
+        candidates, cluster, config = setup
+        backend = make_backend("dimboost", cluster, config, candidates)
+        assert isinstance(backend, DimBoostBackend)
+        assert backend.dense_build is False
+
+
+class TestGeneralPSPushTime:
+    def test_reduces_to_table1(self):
+        from repro.cluster import dimboost_aggregation_time
+
+        cost = CostParams(1e-4, 8e-9, 1e-9)
+        w, h = 8, 1e6
+        assert general_ps_push_time(w, w, h, cost, colocated=True) == pytest.approx(
+            dimboost_aggregation_time(w, h, cost)
+        )
+
+    def test_validation(self):
+        cost = CostParams()
+        with pytest.raises(TrainingError):
+            general_ps_push_time(0, 1, 100, cost)

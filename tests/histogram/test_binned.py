@@ -1,0 +1,129 @@
+"""Tests for BinnedShard and range concatenation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import CSRMatrix
+from repro.errors import DataError
+from repro.histogram import BinnedShard
+from repro.histogram.binned import concat_ranges
+from repro.sketch import propose_candidates
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_empty_ranges_skipped(self):
+        out = concat_ranges(np.array([5, 9, 20]), np.array([0, 2, 0]))
+        assert out.tolist() == [9, 10]
+
+    def test_all_empty(self):
+        out = concat_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert len(out) == 0
+
+    def test_no_ranges(self):
+        assert len(concat_ranges(np.array([]), np.array([]))) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            concat_ranges(np.array([1]), np.array([1, 2]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 8)),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    def test_matches_naive(self, pairs):
+        starts = np.array([p[0] for p in pairs], dtype=np.int64)
+        counts = np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in pairs] or [np.array([], dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(concat_ranges(starts, counts), expected)
+
+
+class TestBinnedShard:
+    def test_layout(self, tiny_dataset, tiny_candidates, tiny_shard):
+        assert tiny_shard.n_rows == tiny_dataset.n_instances
+        assert tiny_shard.n_features == tiny_dataset.n_features
+        assert tiny_shard.nnz == tiny_dataset.X.nnz
+        assert tiny_shard.n_bins == tiny_candidates.max_bins
+
+    def test_bins_match_candidates(self, tiny_dataset, tiny_candidates, tiny_shard):
+        X = tiny_dataset.X
+        for k in range(0, X.nnz, max(1, X.nnz // 100)):
+            f, v = int(X.indices[k]), float(X.data[k])
+            assert tiny_shard.bins[k] == tiny_candidates.bin_of(f, v)
+
+    def test_slots_formula(self, tiny_shard):
+        np.testing.assert_array_equal(
+            tiny_shard.slots,
+            tiny_shard.features * tiny_shard.n_bins + tiny_shard.bins,
+        )
+
+    def test_row_of(self, tiny_dataset, tiny_shard):
+        expected = np.repeat(
+            np.arange(tiny_dataset.n_instances), tiny_dataset.X.row_nnz()
+        )
+        np.testing.assert_array_equal(tiny_shard.row_of, expected)
+
+    def test_positions_of_rows(self, tiny_dataset, tiny_shard):
+        rows = np.array([2, 5, 9])
+        positions = tiny_shard.positions_of_rows(rows)
+        expected = np.concatenate(
+            [
+                np.arange(tiny_dataset.X.indptr[r], tiny_dataset.X.indptr[r + 1])
+                for r in rows
+            ]
+        )
+        np.testing.assert_array_equal(positions, expected)
+
+    def test_feature_count_mismatch(self, tiny_dataset):
+        other = propose_candidates(
+            CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2), max_bins=4
+        )
+        with pytest.raises(DataError):
+            BinnedShard(tiny_dataset.X, other)
+
+
+class TestSplitMask:
+    def naive_mask(self, X, rows, feature, value):
+        """Reference: x[feature] < value goes left, absent = 0."""
+        dense = X.to_dense()
+        return dense[rows, feature] < value
+
+    def test_matches_naive(self, tiny_dataset, tiny_candidates, tiny_shard):
+        rng = np.random.default_rng(0)
+        rows = np.sort(
+            rng.choice(tiny_dataset.n_instances, size=100, replace=False)
+        )
+        checked = 0
+        for feature in range(tiny_candidates.n_features):
+            n_cuts = tiny_candidates.n_cuts(feature)
+            if n_cuts == 0:
+                continue
+            bucket = int(rng.integers(n_cuts))
+            value = tiny_candidates.split_value(feature, bucket)
+            mask = tiny_shard.split_mask(rows, feature, bucket)
+            np.testing.assert_array_equal(
+                mask, self.naive_mask(tiny_dataset.X, rows, feature, value)
+            )
+            checked += 1
+        assert checked > 5
+
+    def test_zero_rows(self, tiny_shard):
+        mask = tiny_shard.split_mask(np.array([], dtype=np.int64), 0, 0)
+        assert len(mask) == 0
+
+    def test_feature_out_of_range(self, tiny_shard):
+        with pytest.raises(DataError):
+            tiny_shard.split_mask(np.array([0]), 10_000, 0)

@@ -1,0 +1,111 @@
+"""Tests for the node-to-instance index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.histogram import NodeInstanceIndex
+
+
+class TestBasics:
+    def test_root_owns_everything(self):
+        index = NodeInstanceIndex(10, 7)
+        assert index.node_range(0) == (0, 10)
+        np.testing.assert_array_equal(index.rows_of(0), np.arange(10))
+
+    def test_split_partitions(self):
+        index = NodeInstanceIndex(6, 7)
+        mask = np.array([True, False, True, False, False, True])
+        left, right = index.split(0, mask)
+        assert (left, right) == (1, 2)
+        assert sorted(index.rows_of(1)) == [0, 2, 5]
+        assert sorted(index.rows_of(2)) == [1, 3, 4]
+
+    def test_split_preserves_order_stably(self):
+        index = NodeInstanceIndex(5, 7)
+        mask = np.array([False, True, False, True, False])
+        index.split(0, mask)
+        assert index.rows_of(1).tolist() == [1, 3]
+        assert index.rows_of(2).tolist() == [0, 2, 4]
+
+    def test_nested_splits(self):
+        index = NodeInstanceIndex(8, 15)
+        index.split(0, np.array([True] * 4 + [False] * 4))
+        left_rows = index.rows_of(1).copy()  # rows_of returns a live view
+        index.split(1, np.array([True, False, True, False]))
+        assert sorted(index.rows_of(3)) == sorted(left_rows[[0, 2]].tolist())
+        assert sorted(index.rows_of(4)) == sorted(left_rows[[1, 3]].tolist())
+        # The right child of the root is untouched.
+        assert sorted(index.rows_of(2)) == [4, 5, 6, 7]
+
+    def test_split_view_aliasing_regression(self):
+        """rows_of returns a view; split must not corrupt it mid-write.
+
+        Regression for the bug where the right-child write read from the
+        already-overwritten left portion of the positions array.
+        """
+        index = NodeInstanceIndex(6, 7)
+        # A mask whose stable partition moves later elements forward.
+        mask = np.array([False, False, True, True, False, True])
+        index.split(0, mask)
+        combined = sorted(
+            index.rows_of(1).tolist() + index.rows_of(2).tolist()
+        )
+        assert combined == [0, 1, 2, 3, 4, 5]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_split_is_permutation(self, mask_list):
+        n = len(mask_list)
+        index = NodeInstanceIndex(n, 7)
+        mask = np.asarray(mask_list)
+        left, right = index.split(0, mask)
+        combined = np.concatenate([index.rows_of(left), index.rows_of(right)])
+        assert sorted(combined.tolist()) == list(range(n))
+        assert index.node_size(left) == int(mask.sum())
+
+    def test_empty_side(self):
+        index = NodeInstanceIndex(4, 7)
+        left, right = index.split(0, np.array([True] * 4))
+        assert index.node_size(left) == 4
+        assert index.node_size(right) == 0
+        assert len(index.rows_of(right)) == 0
+
+
+class TestErrors:
+    def test_unknown_node(self):
+        index = NodeInstanceIndex(4, 7)
+        with pytest.raises(TrainingError):
+            index.rows_of(3)
+
+    def test_node_out_of_range(self):
+        index = NodeInstanceIndex(4, 7)
+        with pytest.raises(TrainingError):
+            index.rows_of(99)
+
+    def test_mask_length_mismatch(self):
+        index = NodeInstanceIndex(4, 7)
+        with pytest.raises(TrainingError):
+            index.split(0, np.array([True]))
+
+    def test_split_beyond_max_nodes(self):
+        index = NodeInstanceIndex(4, 3)
+        index.split(0, np.array([True, True, False, False]))
+        with pytest.raises(TrainingError):
+            index.split(1, np.array([True, True]))
+
+    def test_release(self):
+        index = NodeInstanceIndex(4, 7)
+        index.split(0, np.array([True, False, True, False]))
+        index.release(0)
+        assert not index.has_node(0)
+        with pytest.raises(TrainingError):
+            index.rows_of(0)
+
+    def test_zero_rows(self):
+        index = NodeInstanceIndex(0, 3)
+        assert index.node_size(0) == 0

@@ -1,0 +1,106 @@
+"""Tests for phase-lockstep coordination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.ps import Master, WorkerPhase
+
+
+def advance_all(master: Master, phase: WorkerPhase) -> None:
+    for wid in range(master.n_workers):
+        master.enter_phase(wid, phase)
+
+
+class TestPhases:
+    def test_full_legal_lifecycle(self):
+        master = Master(3)
+        advance_all(master, WorkerPhase.CREATE_SKETCH)
+        advance_all(master, WorkerPhase.PULL_SKETCH)
+        advance_all(master, WorkerPhase.NEW_TREE)
+        for _ in range(2):  # two layers
+            advance_all(master, WorkerPhase.BUILD_HISTOGRAM)
+            advance_all(master, WorkerPhase.FIND_SPLIT)
+            advance_all(master, WorkerPhase.SPLIT_TREE)
+            if _ == 0:
+                advance_all(master, WorkerPhase.BUILD_HISTOGRAM)
+                advance_all(master, WorkerPhase.FIND_SPLIT)
+                advance_all(master, WorkerPhase.SPLIT_TREE)
+        advance_all(master, WorkerPhase.FINISH)
+        assert master.all_finished()
+
+    def test_must_start_in_create_sketch(self):
+        master = Master(2)
+        with pytest.raises(TrainingError, match="CREATE_SKETCH"):
+            master.enter_phase(0, WorkerPhase.NEW_TREE)
+
+    def test_illegal_transition(self):
+        master = Master(1)
+        master.enter_phase(0, WorkerPhase.CREATE_SKETCH)
+        with pytest.raises(TrainingError, match="illegal transition"):
+            master.enter_phase(0, WorkerPhase.FIND_SPLIT)
+
+    def test_split_tree_loops_back(self):
+        master = Master(1)
+        for phase in (
+            WorkerPhase.CREATE_SKETCH,
+            WorkerPhase.PULL_SKETCH,
+            WorkerPhase.NEW_TREE,
+            WorkerPhase.BUILD_HISTOGRAM,
+            WorkerPhase.FIND_SPLIT,
+            WorkerPhase.SPLIT_TREE,
+            WorkerPhase.BUILD_HISTOGRAM,  # next layer
+        ):
+            master.enter_phase(0, phase)
+        assert master.phase_of(0) is WorkerPhase.BUILD_HISTOGRAM
+
+    def test_split_tree_to_new_tree(self):
+        master = Master(1)
+        for phase in (
+            WorkerPhase.CREATE_SKETCH,
+            WorkerPhase.PULL_SKETCH,
+            WorkerPhase.NEW_TREE,
+            WorkerPhase.BUILD_HISTOGRAM,
+            WorkerPhase.FIND_SPLIT,
+            WorkerPhase.SPLIT_TREE,
+            WorkerPhase.NEW_TREE,  # next tree
+        ):
+            master.enter_phase(0, phase)
+
+
+class TestBarrier:
+    def test_barrier_violation_detected(self):
+        master = Master(2)
+        master.enter_phase(0, WorkerPhase.CREATE_SKETCH)
+        master.enter_phase(1, WorkerPhase.CREATE_SKETCH)
+        master.enter_phase(0, WorkerPhase.PULL_SKETCH)
+        # Worker 0 races two phases ahead while worker 1 lags.
+        with pytest.raises(TrainingError, match="barrier violation"):
+            master.enter_phase(0, WorkerPhase.NEW_TREE)
+
+    def test_barriers_counted(self):
+        master = Master(2)
+        advance_all(master, WorkerPhase.CREATE_SKETCH)
+        advance_all(master, WorkerPhase.PULL_SKETCH)
+        assert master.barriers_passed == 2
+
+    def test_health_beats(self):
+        master = Master(2)
+        advance_all(master, WorkerPhase.CREATE_SKETCH)
+        report = master.health_report()
+        assert report == {0: 1, 1: 1}
+
+
+class TestValidation:
+    def test_worker_id_range(self):
+        master = Master(2)
+        with pytest.raises(TrainingError):
+            master.enter_phase(5, WorkerPhase.CREATE_SKETCH)
+
+    def test_zero_workers(self):
+        with pytest.raises(TrainingError):
+            Master(0)
+
+    def test_leader(self):
+        assert Master(3).leader_id == 0

@@ -1,0 +1,127 @@
+"""Tests for the hybrid range-hash parameter partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PSError
+from repro.ps import VectorPartitioner
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("length,p", [(100, 4), (7, 3), (1, 1), (1000, 7)])
+    def test_ranges_cover_vector(self, length, p):
+        part = VectorPartitioner(length, p)
+        covered = np.zeros(length, dtype=int)
+        for rng_ in part.partitions:
+            covered[rng_.lo : rng_.hi] += 1
+        assert (covered == 1).all()
+
+    def test_ranges_contiguous_in_order(self):
+        part = VectorPartitioner(100, 4)
+        for a, b in zip(part.partitions, part.partitions[1:]):
+            assert a.hi == b.lo
+
+    def test_default_partition_count_is_servers(self):
+        part = VectorPartitioner(100, 5)
+        assert part.n_partitions == 5
+
+    def test_more_partitions_than_servers(self):
+        part = VectorPartitioner(100, 3, n_partitions=9)
+        assert part.n_partitions == 9
+        servers = {p.server_id for p in part.partitions}
+        assert servers == {0, 1, 2}
+
+    def test_partitions_capped_by_length(self):
+        part = VectorPartitioner(3, 10)
+        assert part.n_partitions == 3
+
+
+class TestHashBalance:
+    def test_every_server_used_when_possible(self):
+        part = VectorPartitioner(1000, 8)
+        assert {p.server_id for p in part.partitions} == set(range(8))
+
+    def test_loads_balanced(self):
+        part = VectorPartitioner(1024, 8, n_partitions=32)
+        loads = part.server_loads()
+        assert loads.sum() == 1024
+        assert loads.max() - loads.min() <= 1024 // 8
+
+    def test_salt_changes_placement(self):
+        # Any single pair of salts may coincide by chance; at least one of
+        # several salts must produce a different placement than salt 0.
+        base = [
+            p.server_id
+            for p in VectorPartitioner(100, 4, n_partitions=8, salt=0).partitions
+        ]
+        others = [
+            [
+                p.server_id
+                for p in VectorPartitioner(100, 4, n_partitions=8, salt=s).partitions
+            ]
+            for s in range(1, 6)
+        ]
+        assert any(placement != base for placement in others)
+
+    def test_deterministic(self):
+        a = VectorPartitioner(100, 4, salt=3)
+        b = VectorPartitioner(100, 4, salt=3)
+        assert [p.server_id for p in a.partitions] == [
+            p.server_id for p in b.partitions
+        ]
+
+
+class TestAlignment:
+    def test_boundaries_on_multiples(self):
+        part = VectorPartitioner(120, 4, align=8)
+        for p in part.partitions:
+            assert p.lo % 8 == 0
+            assert p.hi % 8 == 0
+
+    def test_align_must_divide_length(self):
+        with pytest.raises(PSError):
+            VectorPartitioner(100, 4, align=7)
+
+    def test_align_larger_than_share(self):
+        # 4 units of 8 over 8 servers: only 4 partitions possible.
+        part = VectorPartitioner(32, 8, align=8)
+        assert part.n_partitions == 4
+
+
+class TestRangeQuery:
+    def test_partition_of_index(self):
+        part = VectorPartitioner(100, 4)
+        for i in (0, 24, 25, 99):
+            found = part.partition_of_index(i)
+            assert found.lo <= i < found.hi
+
+    def test_partition_of_index_bounds(self):
+        part = VectorPartitioner(10, 2)
+        with pytest.raises(PSError):
+            part.partition_of_index(10)
+
+    def test_partitions_on_server(self):
+        part = VectorPartitioner(100, 4, n_partitions=8)
+        total = sum(len(part.partitions_on_server(s)) for s in range(4))
+        assert total == 8
+
+    def test_partitions_on_server_bounds(self):
+        part = VectorPartitioner(10, 2)
+        with pytest.raises(PSError):
+            part.partitions_on_server(5)
+
+
+class TestValidation:
+    def test_negative_length(self):
+        with pytest.raises(PSError):
+            VectorPartitioner(-1, 2)
+
+    def test_zero_servers(self):
+        with pytest.raises(PSError):
+            VectorPartitioner(10, 0)
+
+    def test_zero_length(self):
+        part = VectorPartitioner(0, 2)
+        assert part.partitions[0].length == 0

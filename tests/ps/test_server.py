@@ -1,0 +1,121 @@
+"""Tests for a single PS shard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PSError
+from repro.ps import PSServer
+from repro.ps.partitioner import Partition
+
+
+@pytest.fixture()
+def server() -> PSServer:
+    s = PSServer(0)
+    s.register(
+        "hist",
+        [Partition(0, 0, 10, 0), Partition(2, 20, 30, 0)],
+    )
+    return s
+
+
+class TestPush:
+    def test_push_creates_row(self, server):
+        server.handle_push("hist", 5, 0, np.ones(10))
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 5, 0), np.ones(10)
+        )
+
+    def test_push_accumulates(self, server):
+        server.handle_push("hist", 1, 0, np.ones(10))
+        server.handle_push("hist", 1, 0, 2 * np.ones(10))
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 1, 0), 3 * np.ones(10)
+        )
+
+    def test_push_wrong_length(self, server):
+        with pytest.raises(PSError, match="expected"):
+            server.handle_push("hist", 0, 0, np.ones(5))
+
+    def test_push_unknown_parameter(self, server):
+        with pytest.raises(PSError, match="not registered"):
+            server.handle_push("nope", 0, 0, np.ones(10))
+
+    def test_push_unhosted_partition(self, server):
+        with pytest.raises(PSError, match="not hosted"):
+            server.handle_push("hist", 0, 1, np.ones(10))
+
+    def test_rows_independent(self, server):
+        server.handle_push("hist", 0, 0, np.ones(10))
+        server.handle_push("hist", 1, 0, 5 * np.ones(10))
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 0, 0), np.ones(10)
+        )
+
+    def test_bytes_accounting(self, server):
+        server.handle_push("hist", 0, 0, np.ones(10))
+        assert server.bytes_received == 40
+        server.handle_pull("hist", 0, 0)
+        assert server.bytes_sent == 40
+
+
+class TestPull:
+    def test_pull_unwritten_row_is_zero(self, server):
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 9, 0), np.zeros(10)
+        )
+
+    def test_pull_returns_copy(self, server):
+        server.handle_push("hist", 0, 0, np.ones(10))
+        pulled = server.handle_pull("hist", 0, 0)
+        pulled[:] = 99.0
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 0, 0), np.ones(10)
+        )
+
+    def test_pull_udf_runs_server_side(self, server):
+        server.handle_push("hist", 0, 2, np.arange(10.0))
+        result = server.handle_pull_udf(
+            "hist", 0, 2, lambda values, part: (float(values.sum()), part.lo)
+        )
+        assert result == (45.0, 20)
+
+    def test_pull_udf_on_empty_row(self, server):
+        result = server.handle_pull_udf(
+            "hist", 3, 0, lambda values, part: float(values.sum())
+        )
+        assert result == 0.0
+
+
+class TestMaintenance:
+    def test_clear_row(self, server):
+        server.handle_push("hist", 0, 0, np.ones(10))
+        server.clear_row("hist", 0)
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 0, 0), np.zeros(10)
+        )
+
+    def test_clear_parameter(self, server):
+        server.handle_push("hist", 0, 0, np.ones(10))
+        server.handle_push("hist", 1, 0, np.ones(10))
+        server.clear_parameter("hist")
+        assert server.stored_rows("hist") == []
+
+    def test_stored_rows_sorted(self, server):
+        for row in (5, 1, 3):
+            server.handle_push("hist", row, 0, np.ones(10))
+        assert server.stored_rows("hist") == [1, 3, 5]
+
+    def test_memory_bytes(self, server):
+        assert server.memory_bytes() == 0
+        server.handle_push("hist", 0, 0, np.ones(10))
+        assert server.memory_bytes() == 80  # float64 storage
+
+    def test_double_register_rejected(self, server):
+        with pytest.raises(PSError, match="already registered"):
+            server.register("hist", [])
+
+    def test_clear_unknown_parameter(self, server):
+        with pytest.raises(PSError):
+            server.clear_row("nope", 0)

@@ -1,0 +1,164 @@
+"""Tests for split-candidate proposal and bucketization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSRMatrix
+from repro.errors import DataError, SketchError
+from repro.sketch import (
+    CandidateSet,
+    propose_candidates,
+    propose_candidates_from_sketches,
+    sketch_columns,
+)
+
+
+@pytest.fixture(scope="module")
+def simple_matrix() -> CSRMatrix:
+    # Feature 0: values 1..8; feature 1: mixed signs; feature 2: constant.
+    rows = []
+    for i in range(8):
+        rows.append(
+            [(0, float(i + 1)), (1, float(i - 4)), (2, 5.0)]
+        )
+    return CSRMatrix.from_rows(rows, n_cols=4)
+
+
+class TestProposal:
+    def test_cut_counts_bounded(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        for f in range(cand.n_features):
+            assert cand.n_cuts(f) <= 3
+
+    def test_cuts_strictly_increasing(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=6)
+        for f in range(cand.n_features):
+            cuts = cand.feature_cuts(f)
+            assert np.all(np.diff(cuts) > 0)
+
+    def test_constant_feature_single_cut(self, simple_matrix):
+        # A constant nonzero feature keeps one cut at its value: it still
+        # separates the implicit zeros (absent entries) from the 5.0s.
+        cand = propose_candidates(simple_matrix, max_bins=6)
+        assert cand.n_cuts(2) == 1
+        assert cand.feature_cuts(2)[0] == 5.0
+
+    def test_unseen_feature_no_cuts(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=6)
+        assert cand.n_cuts(3) == 0
+
+    def test_zero_cut_inserted_for_signed_feature(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=6, include_zero_cut=True)
+        assert 0.0 in cand.feature_cuts(1)
+
+    def test_max_bins_validation(self, simple_matrix):
+        with pytest.raises(SketchError):
+            propose_candidates(simple_matrix, max_bins=1)
+
+    def test_quantile_spread(self):
+        # Uniform values should yield near-evenly spread cuts.
+        rng = np.random.default_rng(0)
+        X = CSRMatrix.from_rows(
+            [[(0, float(v))] for v in rng.random(2000)], n_cols=1
+        )
+        cand = propose_candidates(X, max_bins=5)
+        cuts = cand.feature_cuts(0)
+        np.testing.assert_allclose(cuts, [0.2, 0.4, 0.6, 0.8], atol=0.05)
+
+
+class TestBucketization:
+    def test_bin_of_semantics(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        cuts = cand.feature_cuts(0)
+        # Below the first cut -> bucket 0; at/above a cut -> next bucket.
+        assert cand.bin_of(0, cuts[0] - 0.001) == 0
+        assert cand.bin_of(0, float(cuts[0])) == 1
+        assert cand.bin_of(0, cuts[-1] + 100) == len(cuts)
+
+    def test_zero_bin(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=6)
+        for f in range(cand.n_features):
+            assert cand.zero_bins[f] == cand.bin_of(f, 0.0)
+
+    def test_bins_for_matches_bin_of(self, tiny_dataset):
+        cand = propose_candidates(tiny_dataset.X, max_bins=8)
+        X = tiny_dataset.X
+        bins_vec = cand.bins_for(X.indices.astype(np.int64), X.data)
+        for k in range(0, X.nnz, max(1, X.nnz // 200)):
+            f, v = int(X.indices[k]), float(X.data[k])
+            assert bins_vec[k] == cand.bin_of(f, v)
+
+    def test_bins_for_shape_check(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        with pytest.raises(DataError):
+            cand.bins_for(np.array([0, 1]), np.array([1.0]))
+
+    def test_split_value_is_cut(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        cuts = cand.feature_cuts(0)
+        for j in range(len(cuts)):
+            assert cand.split_value(0, j) == cuts[j]
+
+    def test_split_value_out_of_range(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        with pytest.raises(DataError):
+            cand.split_value(3, 0)  # unseen feature has no cuts
+
+    def test_split_predicate_consistency(self, tiny_dataset):
+        """bin(v) <= j  iff  v < split_value(f, j) — the split rule."""
+        cand = propose_candidates(tiny_dataset.X, max_bins=8)
+        X = tiny_dataset.X
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            k = rng.integers(X.nnz)
+            f, v = int(X.indices[k]), float(X.data[k])
+            if cand.n_cuts(f) == 0:
+                continue
+            j = int(rng.integers(cand.n_cuts(f)))
+            went_left = cand.bin_of(f, v) <= j
+            assert went_left == (v < cand.split_value(f, j))
+
+
+class TestSketchProposal:
+    def test_sketch_candidates_close_to_exact(self, small_dataset):
+        X = small_dataset.X
+        exact = propose_candidates(X, max_bins=8, include_zero_cut=False)
+        sketches = sketch_columns(X.indptr, X.indices, X.data, X.n_cols, eps=0.005)
+        approx = propose_candidates_from_sketches(
+            sketches, max_bins=8, include_zero_cut=False
+        )
+        assert approx.n_features == exact.n_features
+        # Compare cuts for the densest features: rank error eps means the
+        # cut values should be near the exact quantiles.
+        dense_feats = np.argsort(X.column_nnz())[-5:]
+        for f in dense_feats:
+            e, a = exact.feature_cuts(int(f)), approx.feature_cuts(int(f))
+            if len(e) == 0 or len(a) == 0:
+                continue
+            vals = np.sort(X.column_values(int(f)))
+            # Each approx cut should be within a few ranks of some exact cut.
+            for cut in a:
+                rank_a = np.searchsorted(vals, cut)
+                nearest = min(abs(rank_a - np.searchsorted(vals, c)) for c in e)
+                assert nearest <= max(3, 0.05 * len(vals))
+
+    def test_validation(self):
+        with pytest.raises(SketchError):
+            propose_candidates_from_sketches([], max_bins=1)
+
+
+class TestCandidateSetValidation:
+    def test_offsets_must_cover_cuts(self):
+        with pytest.raises(SketchError):
+            CandidateSet(np.array([0, 1]), np.array([1.0, 2.0]), max_bins=4)
+
+    def test_too_many_cuts_rejected(self):
+        with pytest.raises(SketchError):
+            CandidateSet(np.array([0, 3]), np.array([1.0, 2.0, 3.0]), max_bins=3)
+
+    def test_feature_cuts_out_of_range(self, simple_matrix):
+        cand = propose_candidates(simple_matrix, max_bins=4)
+        with pytest.raises(DataError):
+            cand.feature_cuts(99)

@@ -1,0 +1,56 @@
+"""Tests for GK sketch wire serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch import GKSketch
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        sketch = GKSketch.from_values(rng.normal(size=500), eps=0.02)
+        clone = GKSketch.from_bytes(sketch.to_bytes())
+        assert clone.count == sketch.count
+        assert clone.eps == sketch.eps
+        for q in (0.1, 0.5, 0.9):
+            assert clone.query(q) == sketch.query(q)
+
+    def test_roundtrip_after_merge(self):
+        rng = np.random.default_rng(1)
+        a = GKSketch.from_values(rng.normal(size=300), 0.05)
+        b = GKSketch.from_values(rng.normal(size=200), 0.05)
+        merged = a.merge(b)
+        clone = GKSketch.from_bytes(merged.to_bytes())
+        assert clone.count == 500
+        assert clone.query(0.5) == merged.query(0.5)
+
+    def test_empty_sketch(self):
+        sketch = GKSketch(0.1)
+        clone = GKSketch.from_bytes(sketch.to_bytes())
+        assert clone.count == 0
+        assert len(clone) == 0
+
+    def test_wire_bytes_matches(self):
+        rng = np.random.default_rng(2)
+        sketch = GKSketch.from_values(rng.normal(size=400), 0.05)
+        assert sketch.wire_bytes == len(sketch.to_bytes())
+
+    def test_wire_size_bounded_by_eps(self):
+        """The sketch size, not the data size, bounds the wire bytes."""
+        rng = np.random.default_rng(3)
+        small = GKSketch.from_values(rng.normal(size=1_000), 0.05)
+        large = GKSketch.from_values(rng.normal(size=100_000), 0.05)
+        # 100x the data, similar wire footprint.
+        assert large.wire_bytes < small.wire_bytes * 3
+
+    def test_truncated_payload_rejected(self):
+        sketch = GKSketch.from_values([1.0, 2.0, 3.0], 0.1)
+        payload = sketch.to_bytes()
+        with pytest.raises(SketchError):
+            GKSketch.from_bytes(payload[:-4])
+        with pytest.raises(SketchError):
+            GKSketch.from_bytes(b"xx")

@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "data.libsvm"
+    code = main(
+        ["generate", "--preset", "rcv1", "--scale", "0.05", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def model_file(dataset_file, tmp_path):
+    path = tmp_path / "model.json"
+    code = main(
+        [
+            "train",
+            str(dataset_file),
+            "--model",
+            str(path),
+            "--trees",
+            "3",
+            "--depth",
+            "4",
+            "--learning-rate",
+            "0.3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_libsvm(self, dataset_file):
+        lines = dataset_file.read_text().strip().splitlines()
+        assert len(lines) > 100
+        assert lines[0].split()[0] in ("0", "1")
+
+    def test_all_presets(self, tmp_path):
+        for preset in ("rcv1", "synthesis", "gender", "lowdim"):
+            out = tmp_path / f"{preset}.libsvm"
+            assert main(
+                ["generate", "--preset", preset, "--scale", "0.02", "--out", str(out)]
+            ) == 0
+            assert out.exists()
+
+
+class TestTrain:
+    def test_model_is_valid_json(self, model_file):
+        payload = json.loads(model_file.read_text())
+        assert payload["format"] == "repro-dimboost-gbdt"
+        assert len(payload["trees"]) == 3
+
+    def test_distributed_training(self, dataset_file, tmp_path):
+        model_path = tmp_path / "dist.json"
+        code = main(
+            [
+                "train",
+                str(dataset_file),
+                "--model",
+                str(model_path),
+                "--system",
+                "dimboost",
+                "--workers",
+                "3",
+                "--servers",
+                "3",
+                "--trees",
+                "2",
+                "--depth",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+
+    def test_bad_loss_rejected(self, dataset_file, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    str(dataset_file),
+                    "--model",
+                    str(tmp_path / "m.json"),
+                    "--loss",
+                    "hinge",
+                ]
+            )
+
+
+class TestPredict:
+    def test_predictions_file(self, model_file, dataset_file, tmp_path):
+        out = tmp_path / "scores.txt"
+        code = main(["predict", str(model_file), str(dataset_file), "--out", str(out)])
+        assert code == 0
+        scores = np.loadtxt(out)
+        assert len(scores) == len(dataset_file.read_text().strip().splitlines())
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_predictions_stdout(self, model_file, dataset_file, capsys):
+        code = main(["predict", str(model_file), str(dataset_file)])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) > 100
+
+
+class TestEvaluate:
+    def test_metrics_printed(self, model_file, dataset_file, capsys):
+        code = main(["evaluate", str(model_file), str(dataset_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error rate" in out
+        assert "AUC" in out
+
+    def test_missing_model(self, dataset_file, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["evaluate", str(tmp_path / "nope.json"), str(dataset_file)])
+
+
+class TestCompare:
+    def test_subset_of_systems(self, dataset_file, capsys):
+        code = main(
+            [
+                "compare",
+                str(dataset_file),
+                "--workers",
+                "2",
+                "--systems",
+                "xgboost,dimboost",
+                "--trees",
+                "2",
+                "--depth",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "xgboost" in out
+        assert "dimboost speedup vs xgboost" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,86 @@
+"""Tests for the shared utilities (RNG spawning, timing)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Stopwatch, TimeBreakdown, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_key_same_stream(self):
+        a = spawn_rng(7, "component", 3).random(5)
+        b = spawn_rng(7, "component", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = spawn_rng(7, "component", 3).random(5)
+        b = spawn_rng(7, "component", 4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(8, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = spawn_rng(0, "a", "b").random(3)
+        b = spawn_rng(0, "b", "a").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_handles_arbitrary_key_types(self):
+        rng = spawn_rng(0, ("tuple", 1), 2.5, None)
+        assert 0.0 <= rng.random() < 1.0
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.total
+        with sw:
+            time.sleep(0.01)
+        assert sw.total > first >= 0.01
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.total == 0.0
+
+    def test_exception_still_records(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw:
+                time.sleep(0.005)
+                raise ValueError("boom")
+        assert sw.total >= 0.005
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        b = TimeBreakdown(loading=1.0, computation=2.0, communication=3.0)
+        assert b.total == 6.0
+
+    def test_extra_counts_in_total(self):
+        b = TimeBreakdown(extra={"warmup": 0.5})
+        assert b.total == 0.5
+
+    def test_add_accumulates(self):
+        a = TimeBreakdown(loading=1.0, extra={"x": 1.0})
+        b = TimeBreakdown(loading=2.0, communication=1.0, extra={"x": 2.0, "y": 1.0})
+        a.add(b)
+        assert a.loading == 3.0
+        assert a.communication == 1.0
+        assert a.extra == {"x": 3.0, "y": 1.0}
+
+    def test_as_dict(self):
+        b = TimeBreakdown(loading=1.0, computation=2.0)
+        d = b.as_dict()
+        assert d["loading"] == 1.0
+        assert d["total"] == 3.0

@@ -1,0 +1,169 @@
+"""Tests for best-first (leaf-wise) tree growth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.errors import TrainingError
+from repro.tree import BestFirstGrower, LayerwiseGrower
+
+
+@pytest.fixture()
+def gradients(small_shard, rng):
+    g = rng.normal(size=small_shard.n_rows)
+    h = rng.random(small_shard.n_rows) + 0.1
+    return g, h
+
+
+class TestStructure:
+    def test_leaf_budget_respected(self, small_shard, small_candidates, gradients):
+        g, h = gradients
+        for budget in (1, 2, 4, 7):
+            grown = BestFirstGrower(
+                small_shard,
+                small_candidates,
+                TrainConfig(max_depth=6),
+                max_leaves=budget,
+            ).grow(g, h)
+            assert grown.tree.n_leaves <= budget
+
+    def test_tree_valid(self, small_shard, small_candidates, gradients):
+        g, h = gradients
+        grown = BestFirstGrower(
+            small_shard, small_candidates, TrainConfig(max_depth=5)
+        ).grow(g, h)
+        grown.tree.validate()
+
+    def test_depth_cap(self, small_shard, small_candidates, gradients):
+        g, h = gradients
+        grown = BestFirstGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=3),
+            max_leaves=64,
+        ).grow(g, h)
+        for node in range(grown.tree.max_nodes):
+            if grown.tree.is_internal(node):
+                assert grown.tree.depth_of(node) < 3
+
+    def test_leaf_assignment_matches_predict(
+        self, small_shard, small_candidates, small_dataset, gradients
+    ):
+        g, h = gradients
+        grown = BestFirstGrower(
+            small_shard, small_candidates, TrainConfig(max_depth=5)
+        ).grow(g, h)
+        np.testing.assert_array_equal(
+            grown.leaf_of_rows, grown.tree.leaf_of(small_dataset.X)
+        )
+
+    def test_single_leaf_budget(self, small_shard, small_candidates, gradients):
+        g, h = gradients
+        grown = BestFirstGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=4),
+            max_leaves=1,
+        ).grow(g, h)
+        assert grown.tree.is_leaf(0)
+        assert grown.n_histograms <= 1
+
+    def test_invalid_budget(self, small_shard, small_candidates):
+        with pytest.raises(TrainingError):
+            BestFirstGrower(
+                small_shard,
+                small_candidates,
+                TrainConfig(max_depth=4),
+                max_leaves=0,
+            )
+
+
+class TestQuality:
+    @staticmethod
+    def objective(grown, g, h, lam=1.0):
+        total = 0.0
+        for node in range(grown.tree.max_nodes):
+            if grown.tree.is_leaf(node):
+                sel = grown.leaf_of_rows == node
+                gs, hs = g[sel].sum(), h[sel].sum()
+                total += -0.5 * gs * gs / (hs + lam)
+        return total
+
+    def test_objective_improves_with_budget(
+        self, small_shard, small_candidates, gradients
+    ):
+        g, h = gradients
+        objectives = []
+        for budget in (2, 4, 8, 16):
+            grown = BestFirstGrower(
+                small_shard,
+                small_candidates,
+                TrainConfig(max_depth=8),
+                max_leaves=budget,
+            ).grow(g, h)
+            objectives.append(self.objective(grown, g, h))
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_first_split_matches_layerwise_root(
+        self, small_shard, small_candidates, gradients
+    ):
+        g, h = gradients
+        config = TrainConfig(max_depth=4)
+        leafwise = BestFirstGrower(
+            small_shard, small_candidates, config, max_leaves=2
+        ).grow(g, h)
+        layerwise = LayerwiseGrower(small_shard, small_candidates, config).grow(
+            g, h
+        )
+        assert (
+            leafwise.tree.split_feature[0] == layerwise.tree.split_feature[0]
+        )
+        assert leafwise.tree.split_value[0] == layerwise.tree.split_value[0]
+
+    def test_competitive_with_layerwise_at_equal_budget(
+        self, small_shard, small_candidates, gradients
+    ):
+        """With the same leaf budget, leaf-wise is at least close to
+        layer-wise on the training objective (usually better)."""
+        g, h = gradients
+        config = TrainConfig(max_depth=5)
+        layerwise = LayerwiseGrower(small_shard, small_candidates, config).grow(
+            g, h
+        )
+        budget = layerwise.tree.n_leaves
+        leafwise = BestFirstGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=10),
+            max_leaves=budget,
+        ).grow(g, h)
+        assert self.objective(leafwise, g, h) <= self.objective(
+            layerwise, g, h
+        ) + abs(self.objective(layerwise, g, h)) * 0.1
+
+
+class TestTrainerIntegration:
+    def test_leaf_wise_training(self, small_dataset):
+        trainer = GBDT(
+            TrainConfig(n_trees=4, max_depth=8, learning_rate=0.3),
+            leaf_wise=True,
+            max_leaves=10,
+        )
+        model = trainer.fit(small_dataset)
+        losses = [r.train_loss for r in trainer.history]
+        assert losses[-1] < losses[0]
+        for tree in model.trees:
+            assert tree.n_leaves <= 10
+
+    def test_leaf_wise_with_eval_set(self, small_dataset):
+        from repro.datasets import train_test_split
+
+        train, valid = train_test_split(small_dataset, seed=0)
+        trainer = GBDT(
+            TrainConfig(n_trees=3, max_depth=6, learning_rate=0.3),
+            leaf_wise=True,
+        )
+        trainer.fit(train, eval_set=valid)
+        assert all(r.eval_loss is not None for r in trainer.history)

@@ -1,0 +1,94 @@
+"""Tests for the regularization knobs end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.tree import LayerwiseGrower
+
+
+class TestRegLambda:
+    def test_larger_lambda_shrinks_leaf_weights(self, small_dataset):
+        weak = GBDT(
+            TrainConfig(n_trees=1, max_depth=3, reg_lambda=0.1, learning_rate=1.0)
+        ).fit(small_dataset)
+        strong = GBDT(
+            TrainConfig(n_trees=1, max_depth=3, reg_lambda=100.0, learning_rate=1.0)
+        ).fit(small_dataset)
+        weak_norm = np.abs(weak.trees[0].weight).max()
+        strong_norm = np.abs(strong.trees[0].weight).max()
+        assert strong_norm < weak_norm
+
+
+class TestRegGamma:
+    def test_gamma_prunes_splits(self, small_shard, small_candidates, rng):
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        free = LayerwiseGrower(
+            small_shard, small_candidates, TrainConfig(max_depth=5, reg_gamma=0.0)
+        ).grow(g, h)
+        taxed = LayerwiseGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=5, reg_gamma=1e3),
+        ).grow(g, h)
+        assert taxed.tree.n_internal < free.tree.n_internal
+
+
+class TestMinChildWeight:
+    def test_blocks_thin_children(self, small_shard, small_candidates, rng):
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        free = LayerwiseGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=5, min_child_weight=0.0),
+        ).grow(g, h)
+        floored = LayerwiseGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=5, min_child_weight=h.sum() / 4),
+        ).grow(g, h)
+        assert floored.tree.n_internal <= free.tree.n_internal
+
+    def test_floor_respected_in_leaf_masses(self, small_shard, small_candidates, rng):
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        floor = 10.0
+        grown = LayerwiseGrower(
+            small_shard,
+            small_candidates,
+            TrainConfig(max_depth=4, min_child_weight=floor),
+        ).grow(g, h)
+        tree = grown.tree
+        for node in range(tree.max_nodes):
+            if tree.is_leaf(node) and node != 0:
+                rows = grown.leaf_of_rows == node
+                if rows.any():
+                    assert h[rows].sum() >= floor - 1e-9
+
+
+class TestMinSplitGain:
+    def test_threshold_monotone_in_tree_size(self, small_shard, small_candidates, rng):
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        sizes = []
+        for threshold in (0.0, 1.0, 100.0):
+            grown = LayerwiseGrower(
+                small_shard,
+                small_candidates,
+                TrainConfig(max_depth=5, min_split_gain=threshold),
+            ).grow(g, h)
+            sizes.append(grown.tree.n_internal)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+class TestLearningRateInteraction:
+    def test_smaller_rate_needs_more_trees(self, small_dataset):
+        fast = GBDT(TrainConfig(n_trees=5, max_depth=4, learning_rate=0.5))
+        fast.fit(small_dataset)
+        slow = GBDT(TrainConfig(n_trees=5, max_depth=4, learning_rate=0.01))
+        slow.fit(small_dataset)
+        assert fast.history[-1].train_loss < slow.history[-1].train_loss

@@ -1,0 +1,81 @@
+"""Tests for the histogram-subtraction growth extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.tree import LayerwiseGrower
+
+
+class TestSubtractionGrowth:
+    def test_fewer_histograms_built(self, small_shard, small_candidates, rng):
+        config = TrainConfig(n_trees=1, max_depth=5, n_split_candidates=16)
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        plain = LayerwiseGrower(small_shard, small_candidates, config).grow(g, h)
+        subtracted = LayerwiseGrower(
+            small_shard, small_candidates, config, subtraction=True
+        ).grow(g, h)
+        assert subtracted.n_histograms < plain.n_histograms
+        # Ideally one build per split below the root plus the root itself.
+        splits = plain.tree.n_internal
+        assert subtracted.n_histograms <= plain.n_histograms - splits // 2
+
+    def test_same_objective(self, small_shard, small_candidates, rng):
+        """Subtraction is exact: the grown tree reaches the same objective
+        (structures may differ only on float-noise gain ties)."""
+        config = TrainConfig(n_trees=1, max_depth=5, n_split_candidates=16)
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+
+        def objective(grown):
+            total = 0.0
+            for node in range(grown.tree.max_nodes):
+                if grown.tree.is_leaf(node):
+                    sel = grown.leaf_of_rows == node
+                    gs, hs = g[sel].sum(), h[sel].sum()
+                    total += -0.5 * gs * gs / (hs + config.reg_lambda)
+            return total
+
+        plain = LayerwiseGrower(small_shard, small_candidates, config).grow(g, h)
+        subtracted = LayerwiseGrower(
+            small_shard, small_candidates, config, subtraction=True
+        ).grow(g, h)
+        assert objective(subtracted) == pytest.approx(objective(plain), rel=1e-6)
+
+    def test_root_split_identical(self, small_shard, small_candidates, rng):
+        config = TrainConfig(n_trees=1, max_depth=4, n_split_candidates=16)
+        g = rng.normal(size=small_shard.n_rows)
+        h = rng.random(small_shard.n_rows) + 0.1
+        plain = LayerwiseGrower(small_shard, small_candidates, config).grow(g, h)
+        subtracted = LayerwiseGrower(
+            small_shard, small_candidates, config, subtraction=True
+        ).grow(g, h)
+        assert plain.tree.split_feature[0] == subtracted.tree.split_feature[0]
+        assert plain.tree.split_value[0] == subtracted.tree.split_value[0]
+
+    def test_trainer_flag(self, small_dataset):
+        config = TrainConfig(n_trees=3, max_depth=5, learning_rate=0.3)
+        plain = GBDT(config)
+        plain.fit(small_dataset)
+        fast = GBDT(config, subtraction=True)
+        fast.fit(small_dataset)
+        assert sum(r.n_histograms for r in fast.history) < sum(
+            r.n_histograms for r in plain.history
+        )
+        assert fast.history[-1].train_loss == pytest.approx(
+            plain.history[-1].train_loss, rel=1e-6
+        )
+
+    def test_depth_two_no_benefit(self, tiny_shard, tiny_candidates, rng):
+        """With a single split there is no sibling pair to derive."""
+        config = TrainConfig(n_trees=1, max_depth=2)
+        g = rng.normal(size=tiny_shard.n_rows)
+        h = rng.random(tiny_shard.n_rows) + 0.1
+        plain = LayerwiseGrower(tiny_shard, tiny_candidates, config).grow(g, h)
+        subtracted = LayerwiseGrower(
+            tiny_shard, tiny_candidates, config, subtraction=True
+        ).grow(g, h)
+        assert subtracted.n_histograms == plain.n_histograms

@@ -1,0 +1,162 @@
+"""Tests for the regression tree structure and prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CSRMatrix
+from repro.errors import TrainingError
+from repro.tree import RegressionTree
+from repro.tree.tree import LEAF, UNUSED
+
+
+def naive_predict_row(tree: RegressionTree, dense_row: np.ndarray) -> float:
+    node = 0
+    while tree.split_feature[node] >= 0:
+        f = tree.split_feature[node]
+        v = dense_row[f] if f < len(dense_row) else 0.0
+        node = 2 * node + 1 if v < tree.split_value[node] else 2 * node + 2
+    return float(tree.weight[node])
+
+
+def build_example_tree() -> RegressionTree:
+    tree = RegressionTree(max_depth=3)
+    tree.set_split(0, feature=1, value=0.5)
+    tree.set_split(1, feature=0, value=2.0)
+    tree.set_leaf(2, 9.0)
+    tree.set_leaf(3, -1.0)
+    tree.set_leaf(4, 1.0)
+    return tree
+
+
+class TestStructure:
+    def test_counts(self):
+        tree = build_example_tree()
+        assert tree.n_internal == 2
+        assert tree.n_leaves == 3
+        assert tree.max_nodes == 7
+
+    def test_is_leaf_internal(self):
+        tree = build_example_tree()
+        assert tree.is_internal(0)
+        assert tree.is_leaf(2)
+        assert not tree.is_leaf(5)  # unused slot
+
+    def test_depth_of(self):
+        tree = RegressionTree(4)
+        assert tree.depth_of(0) == 1
+        assert tree.depth_of(1) == 2
+        assert tree.depth_of(6) == 3
+        assert tree.depth_of(7) == 4
+
+    def test_split_at_max_depth_rejected(self):
+        tree = RegressionTree(2)
+        tree.set_split(0, 0, 1.0)
+        with pytest.raises(TrainingError, match="maximal depth"):
+            tree.set_split(1, 0, 1.0)
+
+    def test_negative_feature_rejected(self):
+        tree = RegressionTree(2)
+        with pytest.raises(TrainingError):
+            tree.set_split(0, -1, 1.0)
+
+    def test_validate_passes_example(self):
+        build_example_tree().validate()
+
+    def test_validate_detects_missing_children(self):
+        tree = RegressionTree(3)
+        tree.set_split(0, 0, 1.0)
+        tree.set_leaf(1, 0.5)  # child 2 missing
+        with pytest.raises(TrainingError, match="missing children"):
+            tree.validate()
+
+    def test_validate_requires_root(self):
+        with pytest.raises(TrainingError, match="no root"):
+            RegressionTree(2).validate()
+
+
+class TestPrediction:
+    def test_matches_naive_walker(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((50, 5)) < 0.6) * rng.normal(size=(50, 5))
+        X = CSRMatrix.from_dense(dense.astype(np.float32))
+        tree = build_example_tree()
+        predictions = tree.predict(X)
+        for i in range(50):
+            assert predictions[i] == pytest.approx(
+                naive_predict_row(tree, dense[i])
+            )
+
+    def test_absent_feature_is_zero(self):
+        """Sparse zeros route by 0 < threshold, matching the zero bucket."""
+        tree = RegressionTree(2)
+        tree.set_split(0, feature=3, value=0.5)
+        tree.set_leaf(1, -7.0)  # x[3] < 0.5 (zeros land here)
+        tree.set_leaf(2, 7.0)
+        X = CSRMatrix.from_rows([[], [(3, 1.0)]], n_cols=4)
+        np.testing.assert_allclose(tree.predict(X), [-7.0, 7.0])
+
+    def test_feature_beyond_matrix_width(self):
+        """A model trained on more features than the input has: value 0."""
+        tree = RegressionTree(2)
+        tree.set_split(0, feature=10, value=0.5)
+        tree.set_leaf(1, -1.0)
+        tree.set_leaf(2, 1.0)
+        X = CSRMatrix.from_rows([[(0, 5.0)]], n_cols=2)
+        np.testing.assert_allclose(tree.predict(X), [-1.0])
+
+    def test_single_leaf_tree(self):
+        tree = RegressionTree(1)
+        tree.set_leaf(0, 3.5)
+        X = CSRMatrix.from_rows([[], [(0, 1.0)]], n_cols=1)
+        np.testing.assert_allclose(tree.predict(X), [3.5, 3.5])
+
+    def test_deep_tree_matches_naive(self):
+        rng = np.random.default_rng(1)
+        tree = RegressionTree(5)
+        # Random full tree of depth 5.
+        for node in range(2**4 - 1):
+            tree.set_split(node, int(rng.integers(6)), float(rng.normal()))
+        for node in range(2**4 - 1, 2**5 - 1):
+            tree.set_leaf(node, float(rng.normal()))
+        dense = rng.normal(size=(100, 6)).astype(np.float32)
+        dense[rng.random((100, 6)) < 0.5] = 0.0
+        X = CSRMatrix.from_dense(dense)
+        predictions = tree.predict(X)
+        for i in range(0, 100, 7):
+            assert predictions[i] == pytest.approx(
+                naive_predict_row(tree, dense[i]), rel=1e-6
+            )
+
+    def test_predict_without_root(self):
+        tree = RegressionTree(2)
+        X = CSRMatrix.from_rows([[]], n_cols=1)
+        with pytest.raises(TrainingError):
+            tree.predict(X)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tree = build_example_tree()
+        clone = RegressionTree.from_dict(tree.to_dict())
+        np.testing.assert_array_equal(clone.split_feature, tree.split_feature)
+        np.testing.assert_array_equal(clone.split_value, tree.split_value)
+        np.testing.assert_array_equal(clone.weight, tree.weight)
+
+    def test_dict_skips_unused(self):
+        tree = build_example_tree()
+        ids = {n["id"] for n in tree.to_dict()["nodes"]}
+        assert ids == {0, 1, 2, 3, 4}
+
+    def test_roundtrip_predictions_identical(self):
+        rng = np.random.default_rng(2)
+        tree = build_example_tree()
+        dense = rng.normal(size=(20, 5)).astype(np.float32)
+        X = CSRMatrix.from_dense(dense)
+        clone = RegressionTree.from_dict(tree.to_dict())
+        np.testing.assert_array_equal(tree.predict(X), clone.predict(X))
+
+    def test_markers(self):
+        assert LEAF == -1
+        assert UNUSED == -2

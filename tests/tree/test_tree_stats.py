@@ -1,0 +1,98 @@
+"""Tests for per-node tree statistics (gain/cover) and the text dump."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GBDT, TrainConfig
+from repro.errors import TrainingError
+from repro.tree import RegressionTree
+
+
+@pytest.fixture(scope="module")
+def trained(small_dataset):
+    trainer = GBDT(TrainConfig(n_trees=2, max_depth=4, learning_rate=0.3))
+    model = trainer.fit(small_dataset)
+    return model, small_dataset
+
+
+class TestStats:
+    def test_internal_nodes_have_positive_gain(self, trained):
+        model, _ = trained
+        for tree in model.trees:
+            internal = tree.split_feature >= 0
+            assert np.all(tree.gain[internal] > 0)
+
+    def test_cover_is_hessian_mass(self, trained):
+        """The root's cover equals the total hessian mass of the data."""
+        model, data = trained
+        from repro.boosting.losses import get_loss
+
+        loss = get_loss("logistic")
+        raw = np.full(data.n_instances, model.base_score)
+        _, hess = loss.gradients(data.y, raw)
+        tree0 = model.trees[0]
+        assert tree0.cover[0] == pytest.approx(hess.sum(), rel=1e-9)
+
+    def test_children_cover_sums_to_parent(self, trained):
+        model, _ = trained
+        for tree in model.trees:
+            for node in range(tree.max_nodes):
+                if tree.is_internal(node):
+                    left, right = 2 * node + 1, 2 * node + 2
+                    if tree.cover[left] and tree.cover[right]:
+                        assert tree.cover[node] == pytest.approx(
+                            tree.cover[left] + tree.cover[right], rel=1e-6
+                        )
+
+    def test_stats_survive_serialization(self, trained):
+        model, _ = trained
+        tree = model.trees[0]
+        clone = RegressionTree.from_dict(tree.to_dict())
+        np.testing.assert_allclose(clone.gain, tree.gain)
+        np.testing.assert_allclose(clone.cover, tree.cover)
+
+    def test_distributed_records_stats(self, small_dataset):
+        from repro import ClusterConfig, train_distributed
+
+        config = TrainConfig(n_trees=1, max_depth=3, n_split_candidates=8)
+        result = train_distributed(
+            "dimboost", small_dataset, ClusterConfig(2, 2), config
+        )
+        tree = result.model.trees[0]
+        if tree.is_internal(0):
+            assert tree.gain[0] > 0
+            assert tree.cover[0] > 0
+
+
+class TestTextDump:
+    def test_renders_all_nodes(self, trained):
+        model, _ = trained
+        tree = model.trees[0]
+        text = tree.to_text()
+        n_lines = len(text.splitlines())
+        assert n_lines == tree.n_internal + tree.n_leaves
+
+    def test_contains_split_and_leaf_markers(self, trained):
+        model, _ = trained
+        text = model.trees[0].to_text()
+        assert "[f" in text
+        assert "leaf=" in text
+        assert "gain=" in text
+
+    def test_indentation_tracks_depth(self):
+        tree = RegressionTree(3)
+        tree.set_split(0, 1, 0.5, gain=2.0, cover=10.0)
+        tree.set_leaf(1, -1.0, cover=4.0)
+        tree.set_split(2, 0, 1.5, gain=1.0, cover=6.0)
+        tree.set_leaf(5, 0.5, cover=3.0)
+        tree.set_leaf(6, 1.5, cover=3.0)
+        lines = tree.to_text().splitlines()
+        assert lines[0].startswith("0:")
+        assert lines[1].startswith("  1:")
+        assert lines[3].startswith("    5:")
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(TrainingError):
+            RegressionTree(2).to_text()
