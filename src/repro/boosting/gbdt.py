@@ -4,18 +4,21 @@ This is the w=1 ground truth the distributed trainers are tested
 against: with exact aggregation every system must grow the *same trees*
 as this trainer, because the merged histograms are identical.
 
-The training loop follows Section 2.2: start from the loss's base score,
-and per round compute gradients at the current predictions, sample
-features (Section 2.2's feature sampling), grow one layer-wise tree, and
-add its shrunk predictions to the running scores — using the free
-leaf-assignment from the node-to-instance index instead of re-running
-tree inference on the training set.
+The per-tree cycle (Section 2.2: gradients at the current predictions →
+feature sampling → grow one tree → add its shrunk predictions to the
+running scores) lives in the shared
+:class:`~repro.runtime.loop.BoostingLoop`; this module contributes the
+single-process :class:`~repro.runtime.loop.TreeGrowthStrategy` plus the
+eval-set scoring and early-stopping policy.  Training predictions come
+free from the grower's node-to-instance leaf assignment instead of
+re-running tree inference on the training set.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -23,12 +26,17 @@ from ..config import TrainConfig
 from ..datasets.dataset import Dataset
 from ..errors import TrainingError
 from ..histogram.binned import BinnedShard
+from ..ps.master import WorkerPhase
+from ..runtime.hooks import CallbackList, HistoryCollector, TrainerCallback
+from ..runtime.loop import BoostingLoop, TreeGrowthStrategy, sample_features
+from ..runtime.phases import PhaseRunner
 from ..sketch.candidates import CandidateSet, propose_candidates
 from ..tree.grower import LayerwiseGrower
-from ..utils.rng import spawn_rng
 from .losses import get_loss
 from .metrics import error_rate
 from .model import GBDTModel
+
+__all__ = ["BoostingRound", "GBDT", "sample_features"]
 
 
 @dataclass
@@ -57,22 +65,96 @@ class BoostingRound:
     eval_error: float | None = None
 
 
-def sample_features(
-    n_features: int, ratio: float, rng: np.random.Generator
-) -> np.ndarray:
-    """Per-tree feature sampling mask (Section 2.2).
+class _SingleProcessStrategy(TreeGrowthStrategy):
+    """One-process growth: a grower over one shard, scores in place.
 
-    Returns a boolean mask with ``ceil(ratio * n_features)`` features
-    enabled; with ratio 1.0 the mask is all-True (no sampling).
+    Also owns the eval-set policy: scoring after every round, tracking
+    the best round, stopping when the eval loss stalls, and truncating
+    the collected trees back to the best round in :meth:`finalize`.
     """
-    if not 0.0 < ratio <= 1.0:
-        raise TrainingError(f"feature sample ratio must be in (0, 1], got {ratio}")
-    if ratio >= 1.0:
-        return np.ones(n_features, dtype=bool)
-    n_sampled = max(1, int(np.ceil(ratio * n_features)))
-    mask = np.zeros(n_features, dtype=bool)
-    mask[rng.choice(n_features, size=n_sampled, replace=False)] = True
-    return mask
+
+    def __init__(
+        self,
+        *,
+        train: Dataset,
+        loss,
+        grower,
+        raw: np.ndarray,
+        eval_set: Dataset | None,
+        eval_raw: np.ndarray | None,
+        early_stopping_rounds: int | None,
+        runner: PhaseRunner,
+        fit_started_at: float,
+    ) -> None:
+        self.train = train
+        self.loss = loss
+        self.grower = grower
+        self.raw = raw
+        self.eval_set = eval_set
+        self.eval_raw = eval_raw
+        self.early_stopping_rounds = early_stopping_rounds
+        self.runner = runner
+        self.n_features = train.n_features
+        self._fit_started_at = fit_started_at
+        self._round_started_at = fit_started_at
+        self.best_eval = np.inf
+        self.best_round = -1
+
+    def begin_tree(self, tree_index: int) -> None:
+        self._round_started_at = time.perf_counter()
+
+    def compute_gradients(self, tree_index: int):
+        with self.runner.stage(WorkerPhase.NEW_TREE, tree_index):
+            return self.loss.gradients(
+                self.train.y, self.raw, self.train.weights
+            )
+
+    def grow(self, tree_index: int, gradients, feature_valid):
+        grad, hess = gradients
+        return self.grower.grow(grad, hess, feature_valid=feature_valid)
+
+    def update_scores(self, tree_index: int, grown) -> None:
+        # Training predictions come free from the leaf assignment.
+        self.raw += grown.tree.weight[grown.leaf_of_rows]
+
+    def finish_round(self, tree_index: int, grown) -> BoostingRound:
+        loss = self.loss
+        eval_loss = eval_error = None
+        if self.eval_set is not None and self.eval_raw is not None:
+            self.eval_raw += grown.tree.predict(self.eval_set.X)
+            eval_loss = loss.loss(self.eval_set.y, self.eval_raw)
+            eval_error = self._error(loss, self.eval_set.y, self.eval_raw)
+            if eval_loss < self.best_eval - 1e-12:
+                self.best_eval = eval_loss
+                self.best_round = tree_index
+        now = time.perf_counter()
+        return BoostingRound(
+            tree_index=tree_index,
+            train_loss=loss.loss(self.train.y, self.raw, self.train.weights),
+            train_error=self._error(loss, self.train.y, self.raw),
+            seconds=now - self._round_started_at,
+            elapsed_seconds=now - self._fit_started_at,
+            n_histograms=grown.n_histograms,
+            eval_loss=eval_loss,
+            eval_error=eval_error,
+        )
+
+    def should_stop(self, tree_index: int) -> bool:
+        return (
+            self.early_stopping_rounds is not None
+            and tree_index - self.best_round >= self.early_stopping_rounds
+        )
+
+    def finalize(self, grown_units: list) -> list:
+        if self.early_stopping_rounds is not None and self.best_round >= 0:
+            return grown_units[: self.best_round + 1]
+        return grown_units
+
+    @staticmethod
+    def _error(loss, y: np.ndarray, raw: np.ndarray) -> float:
+        if loss.name == "logistic":
+            return error_rate(y, loss.transform(raw))
+        return loss.loss(y, raw)
 
 
 @dataclass
@@ -108,6 +190,7 @@ class GBDT:
         candidates: CandidateSet | None = None,
         eval_set: Dataset | None = None,
         early_stopping_rounds: int | None = None,
+        callbacks: Sequence[TrainerCallback] = (),
     ) -> GBDTModel:
         """Train on ``train`` and return the model.
 
@@ -120,6 +203,8 @@ class GBDT:
             early_stopping_rounds: Stop when the eval loss has not
                 improved for this many consecutive rounds, and truncate
                 the model to its best round.  Requires ``eval_set``.
+            callbacks: Trainer hooks observing this fit (see
+                :mod:`repro.runtime.hooks`).
         """
         config = self.config
         if early_stopping_rounds is not None:
@@ -158,62 +243,29 @@ class GBDT:
             if eval_set is not None
             else None
         )
-        trees = []
         self.history = []
-        best_eval = np.inf
-        best_round = -1
+        hooks = CallbackList([HistoryCollector(self.history), *callbacks])
+        runner = PhaseRunner(hooks)  # no master/clock: pure hook dispatch
+        hooks.on_fit_start(config.n_trees)
 
-        for t in range(config.n_trees):
-            round_start = time.perf_counter()
-            grad, hess = loss.gradients(train.y, raw, train.weights)
-            mask = sample_features(
-                train.n_features,
-                config.feature_sample_ratio,
-                spawn_rng(config.seed, "feature_sampling", t),
-            )
-            grown = grower.grow(grad, hess, feature_valid=mask)
-            trees.append(grown.tree)
-            # Training predictions come free from the leaf assignment.
-            raw += grown.tree.weight[grown.leaf_of_rows]
-            eval_loss = eval_error = None
-            if eval_set is not None and eval_raw is not None:
-                eval_raw += grown.tree.predict(eval_set.X)
-                eval_loss = loss.loss(eval_set.y, eval_raw)
-                eval_error = self._error(loss, eval_set.y, eval_raw)
-                if eval_loss < best_eval - 1e-12:
-                    best_eval = eval_loss
-                    best_round = t
-            now = time.perf_counter()
-            self.history.append(
-                BoostingRound(
-                    tree_index=t,
-                    train_loss=loss.loss(train.y, raw, train.weights),
-                    train_error=self._error(loss, train.y, raw),
-                    seconds=now - round_start,
-                    elapsed_seconds=now - start,
-                    n_histograms=grown.n_histograms,
-                    eval_loss=eval_loss,
-                    eval_error=eval_error,
-                )
-            )
-            if (
-                early_stopping_rounds is not None
-                and t - best_round >= early_stopping_rounds
-            ):
-                break
+        strategy = _SingleProcessStrategy(
+            train=train,
+            loss=loss,
+            grower=grower,
+            raw=raw,
+            eval_set=eval_set,
+            eval_raw=eval_raw,
+            early_stopping_rounds=early_stopping_rounds,
+            runner=runner,
+            fit_started_at=start,
+        )
+        grown_units = BoostingLoop(strategy, config, callbacks=hooks).run()
 
-        if early_stopping_rounds is not None and best_round >= 0:
-            trees = trees[: best_round + 1]
-
-        return GBDTModel(
-            trees=trees,
+        model = GBDTModel(
+            trees=[grown.tree for grown in grown_units],
             base_score=base,
             loss_name=config.loss,
             n_features=train.n_features,
         )
-
-    @staticmethod
-    def _error(loss, y: np.ndarray, raw: np.ndarray) -> float:
-        if loss.name == "logistic":
-            return error_rate(y, loss.transform(raw))
-        return loss.loss(y, raw)
+        hooks.on_fit_end(model)
+        return model

@@ -17,7 +17,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -26,11 +26,13 @@ from ..datasets.dataset import Dataset
 from ..datasets.sparse import CSRMatrix
 from ..errors import DataError, NotFittedError, TrainingError
 from ..histogram.binned import BinnedShard
+from ..ps.master import WorkerPhase
+from ..runtime.hooks import CallbackList, HistoryCollector, TrainerCallback
+from ..runtime.loop import BoostingLoop, TreeGrowthStrategy
+from ..runtime.phases import PhaseRunner
 from ..sketch.candidates import CandidateSet, propose_candidates
 from ..tree.grower import LayerwiseGrower
 from ..tree.tree import RegressionTree
-from ..utils.rng import spawn_rng
-from .gbdt import sample_features
 
 
 def softmax(raw: np.ndarray) -> np.ndarray:
@@ -197,6 +199,62 @@ class MulticlassRound:
     seconds: float
 
 
+class _MulticlassStrategy(TreeGrowthStrategy):
+    """One-tree-per-class growth over one shared binned shard.
+
+    A grown unit is the round's list of K
+    :class:`~repro.tree.grower.GrownTree` objects, one per class; the
+    loop collects units per round and the trainer maps them back to the
+    model's tree groups.
+    """
+
+    def __init__(
+        self,
+        *,
+        train: Dataset,
+        loss: SoftmaxLoss,
+        grower: LayerwiseGrower,
+        raw: np.ndarray,
+        runner: PhaseRunner,
+    ) -> None:
+        self.train = train
+        self.loss = loss
+        self.grower = grower
+        self.raw = raw
+        self.runner = runner
+        self.n_features = train.n_features
+        self._round_started_at = 0.0
+
+    def begin_tree(self, tree_index: int) -> None:
+        self._round_started_at = time.perf_counter()
+
+    def compute_gradients(self, tree_index: int):
+        with self.runner.stage(WorkerPhase.NEW_TREE, tree_index):
+            return self.loss.gradients(self.train.y, self.raw)
+
+    def grow(self, tree_index: int, gradients, feature_valid) -> list:
+        grad, hess = gradients
+        return [
+            self.grower.grow(grad[:, k], hess[:, k], feature_valid=feature_valid)
+            for k in range(self.loss.n_classes)
+        ]
+
+    def update_scores(self, tree_index: int, grown: list) -> None:
+        for k, class_grown in enumerate(grown):
+            self.raw[:, k] += class_grown.tree.weight[class_grown.leaf_of_rows]
+
+    def finish_round(self, tree_index: int, grown: list) -> MulticlassRound:
+        predicted = np.argmax(self.raw, axis=1)
+        return MulticlassRound(
+            round_index=tree_index,
+            train_loss=self.loss.loss(self.train.y, self.raw),
+            train_error=float(
+                np.mean(predicted != self.loss.check_labels(self.train.y))
+            ),
+            seconds=time.perf_counter() - self._round_started_at,
+        )
+
+
 @dataclass
 class MulticlassGBDT:
     """K-class softmax GBDT trainer (single machine).
@@ -214,7 +272,10 @@ class MulticlassGBDT:
     history: list[MulticlassRound] = field(default_factory=list)
 
     def fit(
-        self, train: Dataset, candidates: CandidateSet | None = None
+        self,
+        train: Dataset,
+        candidates: CandidateSet | None = None,
+        callbacks: Sequence[TrainerCallback] = (),
     ) -> MulticlassModel:
         """Train on ``train`` (integer labels) and return the model."""
         if self.n_classes < 2:
@@ -232,37 +293,27 @@ class MulticlassGBDT:
 
         base = loss.base_scores(train.y)
         raw = np.tile(base, (train.n_instances, 1))
-        tree_groups: list[list[RegressionTree]] = []
         self.history = []
+        hooks = CallbackList([HistoryCollector(self.history), *callbacks])
+        runner = PhaseRunner(hooks)  # no master/clock: pure hook dispatch
+        hooks.on_fit_start(config.n_trees)
 
-        for t in range(config.n_trees):
-            started = time.perf_counter()
-            grad, hess = loss.gradients(train.y, raw)
-            mask = sample_features(
-                train.n_features,
-                config.feature_sample_ratio,
-                spawn_rng(config.seed, "feature_sampling_mc", t),
-            )
-            group: list[RegressionTree] = []
-            for k in range(self.n_classes):
-                grown = grower.grow(grad[:, k], hess[:, k], feature_valid=mask)
-                group.append(grown.tree)
-                raw[:, k] += grown.tree.weight[grown.leaf_of_rows]
-            tree_groups.append(group)
-            predicted = np.argmax(raw, axis=1)
-            self.history.append(
-                MulticlassRound(
-                    round_index=t,
-                    train_loss=loss.loss(train.y, raw),
-                    train_error=float(
-                        np.mean(predicted != loss.check_labels(train.y))
-                    ),
-                    seconds=time.perf_counter() - started,
-                )
-            )
+        strategy = _MulticlassStrategy(
+            train=train, loss=loss, grower=grower, raw=raw, runner=runner
+        )
+        # The multiclass trainer historically draws feature masks from its
+        # own RNG stream, kept for model reproducibility.
+        groups = BoostingLoop(
+            strategy, config, callbacks=hooks, rng_stream="feature_sampling_mc"
+        ).run()
 
-        return MulticlassModel(
+        tree_groups: list[list[RegressionTree]] = [
+            [grown.tree for grown in group] for group in groups
+        ]
+        model = MulticlassModel(
             tree_groups=tree_groups,
             base_scores=base,
             n_features=train.n_features,
         )
+        hooks.on_fit_end(model)
+        return model

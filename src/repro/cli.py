@@ -37,6 +37,7 @@ from .datasets import (
 )
 from .distributed import BACKEND_NAMES, train_distributed
 from .errors import ReproError
+from .runtime.hooks import TrainerCallback
 
 _PRESETS: dict[str, Callable] = {
     "rcv1": rcv1_like,
@@ -44,6 +45,28 @@ _PRESETS: dict[str, Callable] = {
     "gender": gender_like,
     "lowdim": low_dim_like,
 }
+
+
+class _ProgressCallback(TrainerCallback):
+    """Prints one line per boosting round as training runs.
+
+    Works on both trainers: hooks the same spine the single-machine and
+    distributed engines dispatch to, and reads whichever telemetry
+    record the trainer emits.
+    """
+
+    def on_fit_start(self, n_trees: int) -> None:
+        self._n_trees = n_trees
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        loss = getattr(record, "train_loss", float("nan"))
+        elapsed = getattr(
+            record, "sim_elapsed", getattr(record, "elapsed_seconds", 0.0)
+        )
+        print(
+            f"  tree {tree_index + 1}/{self._n_trees}: "
+            f"train loss {loss:.5f} ({elapsed:.2f}s)"
+        )
 
 
 def _add_train_options(parser: argparse.ArgumentParser) -> None:
@@ -94,9 +117,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     data = load_libsvm(args.data, n_features=args.n_features)
     print(f"loaded {data}")
     config = _config_from_args(args, bits=args.compression_bits)
+    callbacks = [_ProgressCallback()] if args.progress else []
     if args.system:
         cluster = ClusterConfig(n_workers=args.workers, n_servers=args.servers)
-        result = train_distributed(args.system, data, cluster, config)
+        result = train_distributed(
+            args.system, data, cluster, config, callbacks=callbacks
+        )
         model = result.model
         print(
             f"trained with {args.system} on {args.workers} simulated workers "
@@ -105,7 +131,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
     else:
         trainer = GBDT(config)
-        model = trainer.fit(data)
+        model = trainer.fit(data, callbacks=callbacks)
         last = trainer.history[-1]
         print(
             f"trained {config.n_trees} trees in {last.elapsed_seconds:.2f}s; "
@@ -202,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=4)
     train.add_argument("--servers", type=int, default=4)
     train.add_argument("--compression-bits", type=int, default=0)
+    train.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-tree progress while training",
+    )
     _add_train_options(train)
     train.set_defaults(func=cmd_train)
 

@@ -135,16 +135,25 @@ class NetworkCost:
     ``alpha + n * beta``; merging ``n`` bytes of histograms costs
     ``n * gamma``.  The defaults approximate the paper's 1 GbE cluster:
     0.1 ms latency, ~8 ns/byte transfer (≈1 Gbit/s), 1 ns/byte merge.
+
+    ``sketch_entry_bytes`` is the approximate wire weight of one
+    quantile-sketch entry (value + rank bounds) used when charging the
+    CREATE_SKETCH / PULL_SKETCH exchange.
     """
 
     alpha: float = 1e-4
     beta: float = 8e-9
     gamma: float = 1e-9
+    sketch_entry_bytes: float = 16.0
 
     def __post_init__(self) -> None:
         _require(self.alpha >= 0.0, f"alpha must be >= 0, got {self.alpha}")
         _require(self.beta >= 0.0, f"beta must be >= 0, got {self.beta}")
         _require(self.gamma >= 0.0, f"gamma must be >= 0, got {self.gamma}")
+        _require(
+            self.sketch_entry_bytes > 0.0,
+            f"sketch_entry_bytes must be > 0, got {self.sketch_entry_bytes}",
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +167,9 @@ class ClusterConfig:
         network: Alpha/beta/gamma constants used by the simulated fabric.
         colocated: Whether servers are co-located with workers (affects
             the PS push accounting: the local slice skips the wire).
+        loading_bytes_per_second: Simulated HDFS ingest rate used to
+            charge the data-loading phase (bytes/second).  Benches sweep
+            this to model faster or slower storage tiers.
         worker_speeds: Optional relative speed per worker (1.0 = nominal;
             0.5 = half speed).  Models heterogeneous clusters: a worker's
             measured compute is divided by its speed before the barrier,
@@ -170,11 +182,17 @@ class ClusterConfig:
     n_servers: int = 4
     network: NetworkCost = field(default_factory=NetworkCost)
     colocated: bool = True
+    loading_bytes_per_second: float = 200e6
     worker_speeds: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         _require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
         _require(self.n_servers >= 1, f"n_servers must be >= 1, got {self.n_servers}")
+        _require(
+            self.loading_bytes_per_second > 0.0,
+            f"loading_bytes_per_second must be > 0, got "
+            f"{self.loading_bytes_per_second}",
+        )
         if self.worker_speeds is not None:
             speeds = tuple(float(s) for s in self.worker_speeds)
             object.__setattr__(self, "worker_speeds", speeds)

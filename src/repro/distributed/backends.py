@@ -15,6 +15,7 @@ the backends differ in *time*, which is the paper's claim.
 
 from __future__ import annotations
 
+import inspect
 import time
 from abc import ABC, abstractmethod
 
@@ -29,7 +30,7 @@ from ..cluster.collectives import (
 from ..cluster.costmodel import CostParams, log2_steps
 from ..cluster.simclock import SimClock
 from ..config import ClusterConfig, TrainConfig
-from ..errors import TrainingError
+from ..errors import ConfigError, TrainingError
 from ..ps.group import ParameterServerGroup
 from ..ps.partitioner import Partition
 from ..sketch.candidates import CandidateSet
@@ -78,9 +79,11 @@ class AggregationBackend(ABC):
     """
 
     name: str = "abstract"
-    #: Whether this system's histogram construction scans densely
-    #: (Section 5.1: DimBoost is the first to exploit sparsity there).
-    dense_build: bool = True
+    #: Preferred histogram build mode, resolved to a
+    #: :class:`~repro.runtime.build.HistogramBuildStrategy` by the engine
+    #: (Section 5.1: DimBoost is the first system to exploit sparsity
+    #: there, so it alone defaults to "sparse").
+    build_mode: str = "dense"
 
     def __init__(
         self,
@@ -99,6 +102,11 @@ class AggregationBackend(ABC):
         self.flat_len = 2 * self.n_features * self.n_bins
         self.flat_bytes = self.flat_len * 4
         self._tree_index = -1
+
+    @property
+    def dense_build(self) -> bool:
+        """Back-compat boolean view of :attr:`build_mode`."""
+        return self.build_mode == "dense"
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -164,7 +172,7 @@ class MLlibBackend(AggregationBackend):
     """
 
     name = "mllib"
-    dense_build = True
+    build_mode = "dense"
 
     def __init__(self, cluster, config, candidates) -> None:
         super().__init__(cluster, config, candidates)
@@ -190,7 +198,7 @@ class XGBoostBackend(AggregationBackend):
     """Binomial-tree AllReduce; the root worker finds splits (Section 2.3)."""
 
     name = "xgboost"
-    dense_build = True
+    build_mode = "dense"
 
     def __init__(self, cluster, config, candidates) -> None:
         super().__init__(cluster, config, candidates)
@@ -227,7 +235,7 @@ class LightGBMBackend(AggregationBackend):
     """
 
     name = "lightgbm"
-    dense_build = True
+    build_mode = "dense"
 
     def __init__(self, cluster, config, candidates) -> None:
         super().__init__(cluster, config, candidates)
@@ -297,7 +305,7 @@ class TencentBoostBackend(AggregationBackend):
     """
 
     name = "tencentboost"
-    dense_build = True
+    build_mode = "dense"
 
     def __init__(self, cluster, config, candidates) -> None:
         super().__init__(cluster, config, candidates)
@@ -367,7 +375,7 @@ class DimBoostBackend(AggregationBackend):
     """
 
     name = "dimboost"
-    dense_build = False  # sparsity-aware histogram construction (C3)
+    build_mode = "sparse"  # sparsity-aware histogram construction (C3)
 
     def __init__(
         self,
@@ -573,6 +581,22 @@ _BACKENDS = {
 }
 
 
+def backend_options(system: str) -> tuple[str, ...]:
+    """Keyword options a backend accepts beyond (cluster, config, candidates)."""
+    try:
+        backend_cls = _BACKENDS[system]
+    except KeyError as exc:
+        raise TrainingError(
+            f"unknown system {system!r}; expected one of {BACKEND_NAMES}"
+        ) from exc
+    parameters = inspect.signature(backend_cls.__init__).parameters
+    return tuple(
+        name
+        for name in parameters
+        if name not in ("self", "cluster", "config", "candidates")
+    )
+
+
 def make_backend(
     system: str,
     cluster: ClusterConfig,
@@ -580,11 +604,23 @@ def make_backend(
     candidates: CandidateSet,
     **kwargs,
 ) -> AggregationBackend:
-    """Instantiate a backend by system name (see ``BACKEND_NAMES``)."""
-    try:
-        backend_cls = _BACKENDS[system]
-    except KeyError as exc:
-        raise TrainingError(
-            f"unknown system {system!r}; expected one of {BACKEND_NAMES}"
-        ) from exc
-    return backend_cls(cluster, config, candidates, **kwargs)
+    """Instantiate a backend by system name (see ``BACKEND_NAMES``).
+
+    Raises:
+        TrainingError: For an unknown system name.
+        ConfigError: For a keyword the backend does not accept (e.g. a
+            typo'd ablation flag), naming the backend and its options.
+    """
+    accepted = backend_options(system)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        options = (
+            f"accepted options: {', '.join(accepted)}"
+            if accepted
+            else "it accepts no extra options"
+        )
+        raise ConfigError(
+            f"unknown option(s) {', '.join(map(repr, unknown))} for backend "
+            f"{system!r}; {options}"
+        )
+    return _BACKENDS[system](cluster, config, candidates, **kwargs)

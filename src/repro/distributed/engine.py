@@ -11,17 +11,26 @@ One engine drives all five systems through the per-layer core operation:
    instance indexes (SPLIT_TREE), and
 4. emit the model (FINISH).
 
+The per-tree cycle itself lives in the shared
+:class:`~repro.runtime.loop.BoostingLoop`; this module contributes the
+cluster-specific :class:`~repro.runtime.loop.TreeGrowthStrategy`.  All
+phase transitions, lockstep checks, and time attribution flow through
+:class:`~repro.runtime.phases.PhaseRunner` stages, and observability
+(per-phase seconds, per-round telemetry) is populated by callbacks on
+the :mod:`~repro.runtime.hooks` spine.
+
 Time model: the workers' *computation* is measured for real (wall-clock
 of the actual numpy kernels, with a barrier charging the slowest worker
 of each phase), *communication* is charged by the cost model with real
-byte counts, and *loading* is the shard bytes over a configured ingest
-rate.  See DESIGN.md for the substitution rationale.
+byte counts, and *loading* is the shard bytes over the cluster's
+configured ingest rate (``ClusterConfig.loading_bytes_per_second``).
+See DESIGN.md for the substitution rationale.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -33,15 +42,18 @@ from ..cluster.simclock import SimClock
 from ..config import ClusterConfig, TrainConfig
 from ..datasets.dataset import Dataset
 from ..datasets.partition import partition_rows
-from ..errors import TrainingError
 from ..histogram.binned import BinnedShard
-from ..histogram.builder import (
-    build_node_histogram_dense,
-    build_node_histogram_sparse,
-)
 from ..histogram.index import NodeInstanceIndex
-from ..histogram.parallel import build_histogram_batched
 from ..ps.master import Master, WorkerPhase
+from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
+from ..runtime.hooks import (
+    CallbackList,
+    HistoryCollector,
+    PhaseAccountant,
+    TrainerCallback,
+)
+from ..runtime.loop import BoostingLoop, TreeGrowthStrategy
+from ..runtime.phases import PhaseRunner, scale_by_speeds
 from ..sketch.candidates import (
     CandidateSet,
     propose_candidates,
@@ -50,16 +62,8 @@ from ..sketch.candidates import (
 from ..sketch.quantile import GKSketch, sketch_columns
 from ..tree.split import leaf_weight
 from ..tree.tree import RegressionTree
-from ..utils.rng import spawn_rng
-from ..utils.timing import TimeBreakdown
+from ..utils.timing import Stopwatch, TimeBreakdown
 from .backends import AggregationBackend, general_ps_push_time, make_backend
-from ..boosting.gbdt import sample_features
-
-#: Simulated HDFS ingest rate for the loading phase (bytes/second).
-LOADING_BYTES_PER_SECOND = 200e6
-
-#: Approximate wire bytes per quantile-sketch entry (value + rank bounds).
-SKETCH_ENTRY_BYTES = 16
 
 
 @dataclass
@@ -88,7 +92,6 @@ class DistributedResult:
         rounds: Per-tree convergence telemetry.
         phases: Simulated seconds charged per worker phase
             (CREATE_SKETCH ... SPLIT_TREE) — the Table 3 style view.
-        sim_seconds: Total simulated cluster time.
     """
 
     model: GBDTModel
@@ -101,6 +104,217 @@ class DistributedResult:
     def sim_seconds(self) -> float:
         """Total simulated cluster time."""
         return self.breakdown.total
+
+
+class _ShardedGrowthStrategy(TreeGrowthStrategy):
+    """The distributed per-round operations behind the shared loop.
+
+    Holds the per-worker shard state (binned rows, labels, raw scores)
+    and executes each phase of the Section 4.4 cycle inside a
+    :class:`~repro.runtime.phases.PhaseStage`, delegating histogram
+    aggregation and split finding to the system's backend.
+    """
+
+    def __init__(
+        self,
+        *,
+        cluster: ClusterConfig,
+        config: TrainConfig,
+        cost: CostParams,
+        loss,
+        shards: list[BinnedShard],
+        labels: list[np.ndarray],
+        weights: list[np.ndarray | None],
+        raws: list[np.ndarray],
+        backend: AggregationBackend,
+        build_strategy: HistogramBuildStrategy,
+        clock: SimClock,
+        runner: PhaseRunner,
+        loading: float,
+        n_features: int,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.cost = cost
+        self.loss = loss
+        self.shards = shards
+        self.labels = labels
+        self.weights = weights
+        self.raws = raws
+        self.backend = backend
+        self.build_strategy = build_strategy
+        self.clock = clock
+        self.runner = runner
+        self.loading = loading
+        self.n_features = n_features
+        self._root_totals = (0.0, 0.0)
+        self._leaf_assignments: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # TreeGrowthStrategy
+    # ------------------------------------------------------------------
+
+    def begin_tree(self, tree_index: int) -> None:
+        self.backend.begin_tree(tree_index)
+
+    def compute_gradients(self, tree_index: int):
+        cluster = self.cluster
+        with self.runner.stage(WorkerPhase.NEW_TREE, tree_index) as stage:
+            timer = stage.worker_timer()
+            grads, hesses = [], []
+            for wid, (y, raw, w) in enumerate(
+                zip(self.labels, self.raws, self.weights)
+            ):
+                with timer.measure(wid):
+                    g, h = self.loss.gradients(y, raw, w)
+                grads.append(g)
+                hesses.append(h)
+            stage.barrier(timer)
+            # Root totals: each worker contributes two floats (tiny push).
+            total_g = float(sum(g.sum() for g in grads))
+            total_h = float(sum(h.sum() for h in hesses))
+            stage.charge_comm(
+                general_ps_push_time(
+                    cluster.n_workers,
+                    cluster.n_servers,
+                    16,
+                    self.cost,
+                    cluster.colocated,
+                )
+            )
+            self._root_totals = (total_g, total_h)
+        return grads, hesses
+
+    def grow(self, tree_index: int, gradients, feature_valid) -> RegressionTree:
+        grads, hesses = gradients
+        config = self.config
+        runner = self.runner
+        tree = RegressionTree(config.max_depth)
+        indexes = [
+            NodeInstanceIndex(shard.n_rows, config.max_nodes)
+            for shard in self.shards
+        ]
+        node_totals: dict[int, tuple[float, float]] = {0: self._root_totals}
+
+        active = [0]
+        eta = config.learning_rate
+        for depth in range(1, config.max_depth + 1):
+            if not active:
+                break
+            if depth == config.max_depth:
+                for node in active:
+                    g, h = node_totals[node]
+                    tree.set_leaf(
+                        node,
+                        eta * leaf_weight(g, h, config.reg_lambda),
+                        cover=float(h),
+                    )
+                active = []
+                break
+
+            # BUILD_HISTOGRAM for the whole layer.  The aggregation's wire
+            # cost is charged by the backend under FIND_SPLIT (the paper
+            # accounts aggregation as part of split finding).
+            with runner.stage(WorkerPhase.BUILD_HISTOGRAM, tree_index) as stage:
+                timer = stage.worker_timer()
+                for node in active:
+                    flats = self._build_node_histograms(
+                        indexes, grads, hesses, node, timer
+                    )
+                    self.backend.aggregate_node(node, flats, self.clock)
+                stage.barrier(timer)
+
+            with runner.stage(WorkerPhase.FIND_SPLIT, tree_index):
+                decisions = self.backend.find_splits(
+                    active, feature_valid, self.clock
+                )
+
+            with runner.stage(WorkerPhase.SPLIT_TREE, tree_index) as stage:
+                timer = stage.worker_timer()
+                next_active: list[int] = []
+                for node in active:
+                    decision = decisions.get(node)
+                    if decision is None or decision.gain <= config.min_split_gain:
+                        g, h = node_totals[node]
+                        tree.set_leaf(
+                            node,
+                            eta * leaf_weight(g, h, config.reg_lambda),
+                            cover=float(h),
+                        )
+                        continue
+                    left, right = tree.set_split(
+                        node,
+                        decision.feature,
+                        decision.value,
+                        gain=decision.gain,
+                        cover=decision.total_hess,
+                    )
+                    node_totals[left] = (decision.left_grad, decision.left_hess)
+                    node_totals[right] = (decision.right_grad, decision.right_hess)
+                    for wid, shard in enumerate(self.shards):
+                        rows = indexes[wid].rows_of(node)
+                        with timer.measure(wid):
+                            goes_left = shard.split_mask(
+                                rows, decision.feature, decision.bucket
+                            )
+                            indexes[wid].split(node, goes_left)
+                    next_active.extend((left, right))
+                stage.barrier(timer)
+            active = next_active
+
+        # Leaf assignment per worker from its index (free predictions).
+        self._leaf_assignments = []
+        for wid, shard in enumerate(self.shards):
+            assignment = np.zeros(shard.n_rows, dtype=np.int64)
+            for node in range(tree.max_nodes):
+                if tree.is_leaf(node) and indexes[wid].has_node(node):
+                    assignment[indexes[wid].rows_of(node)] = node
+            self._leaf_assignments.append(assignment)
+        self.backend.end_tree(self.clock)
+        return tree
+
+    def update_scores(self, tree_index: int, grown: RegressionTree) -> None:
+        for wid in range(self.cluster.n_workers):
+            self.raws[wid] += grown.weight[self._leaf_assignments[wid]]
+
+    def finish_round(self, tree_index: int, grown: RegressionTree) -> RoundRecord:
+        """Global train loss/error (observability only; not charged)."""
+        loss = self.loss
+        y_all = np.concatenate(self.labels)
+        raw_all = np.concatenate(self.raws)
+        if loss.name == "logistic":
+            err = error_rate(y_all, loss.transform(raw_all))
+        else:
+            err = loss.loss(y_all, raw_all)
+        return RoundRecord(
+            tree_index=tree_index,
+            sim_elapsed=self.loading + self.clock.time,
+            train_loss=loss.loss(y_all, raw_all),
+            train_error=err,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _build_node_histograms(
+        self,
+        indexes: list[NodeInstanceIndex],
+        grads: list[np.ndarray],
+        hesses: list[np.ndarray],
+        node: int,
+        timer,
+    ) -> list[np.ndarray]:
+        """One node's local histograms, feature-major flat, per worker."""
+        flats = []
+        for wid, shard in enumerate(self.shards):
+            rows = indexes[wid].rows_of(node)
+            histogram, seconds = self.build_strategy.build(
+                shard, rows, grads[wid], hesses[wid]
+            )
+            timer.add(wid, seconds)
+            flats.append(histogram.to_flat_feature_major())
+        return flats
 
 
 class DistributedGBDT:
@@ -120,8 +334,13 @@ class DistributedGBDT:
             exact global quantiles.  Exact is the default because both
             paths yield near-identical candidates and the exact path keeps
             the cross-system tree-identity guarantee.
+        build_strategy: Explicit histogram build strategy; overrides the
+            ``sparse_build`` / ``batched_build`` resolution when given.
+        callbacks: Trainer hooks observing every fit (see
+            :mod:`repro.runtime.hooks`).
         backend_kwargs: Extra arguments for the backend (e.g. DimBoost's
-            ``two_phase=False`` ablation).
+            ``two_phase=False`` ablation); validated against the
+            backend's accepted options.
     """
 
     def __init__(
@@ -133,6 +352,8 @@ class DistributedGBDT:
         use_index: bool = True,
         batched_build: bool = False,
         distributed_sketch: bool = False,
+        build_strategy: HistogramBuildStrategy | None = None,
+        callbacks: Sequence[TrainerCallback] = (),
         **backend_kwargs,
     ) -> None:
         self.system = system
@@ -142,6 +363,8 @@ class DistributedGBDT:
         self.use_index = use_index
         self.batched_build = batched_build
         self.distributed_sketch = distributed_sketch
+        self._build_strategy_override = build_strategy
+        self.callbacks = list(callbacks)
         self._backend_kwargs = backend_kwargs
         self.cost = CostParams(
             self.cluster.network.alpha,
@@ -161,31 +384,44 @@ class DistributedGBDT:
         clock = SimClock()
         master = Master(cluster.n_workers)
 
+        accountant = PhaseAccountant()
+        rounds: list[RoundRecord] = []
+        hooks = CallbackList(
+            [accountant, HistoryCollector(rounds), *self.callbacks]
+        )
+        runner = PhaseRunner(hooks, master=master, clock=clock, cluster=cluster)
+        hooks.on_fit_start(config.n_trees)
+
         # DATA PARTITIONING + loading: shard bytes over the ingest rate,
         # workers load in parallel (max shard).
         shards_data = partition_rows(train, cluster.n_workers)
-        loading = max(s.X.nbytes for s in shards_data) / LOADING_BYTES_PER_SECOND
+        loading = (
+            max(s.X.nbytes for s in shards_data)
+            / cluster.loading_bytes_per_second
+        )
 
         # CREATE_SKETCH / PULL_SKETCH.
-        for wid in range(cluster.n_workers):
-            master.enter_phase(wid, WorkerPhase.CREATE_SKETCH)
-        candidates = self._propose_candidates(train, shards_data, clock)
-        for wid in range(cluster.n_workers):
-            master.enter_phase(wid, WorkerPhase.PULL_SKETCH)
+        with runner.stage(WorkerPhase.CREATE_SKETCH):
+            candidates, sketch_bytes = self._propose_candidates(
+                train, shards_data, clock
+            )
+        with runner.stage(WorkerPhase.PULL_SKETCH) as stage:
+            # Pull of the merged sketches by every worker.
+            stage.charge_comm(
+                cluster.n_servers * self.cost.alpha
+                + sketch_bytes * self.cost.beta
+            )
 
         backend = make_backend(
             self.system, cluster, config, candidates, **self._backend_kwargs
         )
-        sparse_build = (
-            not backend.dense_build
-            if self._sparse_build_override is None
-            else self._sparse_build_override
-        )
+        build_strategy = self._resolve_build_strategy(backend)
 
         # Pre-bucketize every shard (part of loading/ETL; measured).
-        started = time.perf_counter()
-        shards = [BinnedShard(s.X, candidates) for s in shards_data]
-        loading += (time.perf_counter() - started) / cluster.n_workers
+        etl = Stopwatch()
+        with etl:
+            shards = [BinnedShard(s.X, candidates) for s in shards_data]
+        loading += etl.total / cluster.n_workers
 
         labels = [np.asarray(s.y, dtype=np.float64) for s in shards_data]
         weights = [
@@ -194,38 +430,26 @@ class DistributedGBDT:
         base = loss.base_score(train.y, train.weights)
         raws = [np.full(s.n_rows, base, dtype=np.float64) for s in shards]
 
-        trees: list[RegressionTree] = []
-        rounds: list[RoundRecord] = []
+        strategy = _ShardedGrowthStrategy(
+            cluster=cluster,
+            config=config,
+            cost=self.cost,
+            loss=loss,
+            shards=shards,
+            labels=labels,
+            weights=weights,
+            raws=raws,
+            backend=backend,
+            build_strategy=build_strategy,
+            clock=clock,
+            runner=runner,
+            loading=loading,
+            n_features=train.n_features,
+        )
+        trees = BoostingLoop(strategy, config, callbacks=hooks).run()
 
-        for t in range(config.n_trees):
-            backend.begin_tree(t)
-            for wid in range(cluster.n_workers):
-                master.enter_phase(wid, WorkerPhase.NEW_TREE)
-            grads, hesses = self._compute_gradients(
-                loss, labels, raws, weights, clock
-            )
-            # The leader samples features and publishes the mask via the
-            # PS (tiny; every worker derives the same mask from the seed).
-            mask = sample_features(
-                train.n_features,
-                config.feature_sample_ratio,
-                spawn_rng(config.seed, "feature_sampling", t),
-            )
-
-            tree, leaf_assignments = self._grow_tree(
-                backend, shards, grads, hesses, mask, clock, master
-            )
-            trees.append(tree)
-            backend.end_tree(clock)
-
-            for wid in range(cluster.n_workers):
-                raws[wid] += tree.weight[leaf_assignments[wid]]
-            rounds.append(
-                self._record_round(t, loss, labels, raws, loading, clock)
-            )
-
-        for wid in range(cluster.n_workers):
-            master.enter_phase(wid, WorkerPhase.FINISH)
+        with runner.stage(WorkerPhase.FINISH):
+            pass
 
         model = GBDTModel(
             trees=trees,
@@ -238,40 +462,56 @@ class DistributedGBDT:
             computation=clock.computation,
             communication=clock.communication,
         )
-        return DistributedResult(
+        result = DistributedResult(
             model=model,
             system=self.system,
             breakdown=breakdown,
             rounds=rounds,
-            phases=clock.by_phase(),
+            phases=accountant.phases,
         )
+        hooks.on_fit_end(result)
+        return result
 
     # ------------------------------------------------------------------
-    # phases
+    # setup
     # ------------------------------------------------------------------
 
-    def _apply_speeds(self, per_worker_seconds: list[float]) -> list[float]:
-        """Scale measured per-worker compute by each worker's speed."""
-        return [
-            seconds / self.cluster.speed_of(wid)
-            for wid, seconds in enumerate(per_worker_seconds)
-        ]
+    def _resolve_build_strategy(
+        self, backend: AggregationBackend
+    ) -> HistogramBuildStrategy:
+        """The histogram build strategy for this fit.
+
+        Precedence: explicit ``build_strategy`` > the ``sparse_build``
+        override > the backend's own build mode.
+        """
+        if self._build_strategy_override is not None:
+            return self._build_strategy_override
+        sparse = (
+            backend.build_mode == "sparse"
+            if self._sparse_build_override is None
+            else self._sparse_build_override
+        )
+        return resolve_build_strategy(
+            self.config, sparse=sparse, batched=self.batched_build
+        )
 
     def _propose_candidates(
         self,
         train: Dataset,
         shards_data: list[Dataset],
         clock: SimClock,
-    ) -> CandidateSet:
-        """Candidate proposal with sketch communication charged.
+    ) -> tuple[CandidateSet, float]:
+        """Candidate proposal with the sketch *push* charged.
 
-        The wire cost is the same for both paths: every worker pushes one
-        summary per feature and pulls the merged ones back.
+        Returns the candidates plus the per-worker sketch wire bytes; the
+        caller charges the merged-sketch pull inside the PULL_SKETCH
+        stage.  The wire cost is the same for both paths: every worker
+        pushes one summary per feature and pulls the merged ones back.
         """
         config = self.config
         cluster = self.cluster
 
-        def charge_sketch_comm(sketch_bytes: float) -> None:
+        def charge_sketch_push(sketch_bytes: float) -> None:
             clock.advance_comm(
                 general_ps_push_time(
                     cluster.n_workers,
@@ -282,250 +522,50 @@ class DistributedGBDT:
                 ),
                 phase="CREATE_SKETCH",
             )
-            # Pull of the merged sketches by every worker.
-            clock.advance_comm(
-                cluster.n_servers * self.cost.alpha
-                + sketch_bytes * self.cost.beta,
-                phase="PULL_SKETCH",
-            )
 
         if not self.distributed_sketch:
             # Exact path: charge the modelled summary size per feature.
             entries_per_sketch = int(1.0 / (2.0 * config.sketch_eps)) + 2
-            charge_sketch_comm(
-                train.n_features * entries_per_sketch * SKETCH_ENTRY_BYTES
+            sketch_bytes = (
+                train.n_features
+                * entries_per_sketch
+                * cluster.network.sketch_entry_bytes
             )
-            return propose_candidates(train.X, config.n_split_candidates)
+            charge_sketch_push(sketch_bytes)
+            return (
+                propose_candidates(train.X, config.n_split_candidates),
+                sketch_bytes,
+            )
 
         per_worker_seconds = []
         per_worker_bytes = []
         merged: list[GKSketch] | None = None
         for shard in shards_data:
-            started = time.perf_counter()
-            local = sketch_columns(
-                shard.X.indptr,
-                shard.X.indices,
-                shard.X.data,
-                shard.n_features,
-                eps=config.sketch_eps / 2.0,
-            )
-            per_worker_seconds.append(time.perf_counter() - started)
+            sw = Stopwatch()
+            with sw:
+                local = sketch_columns(
+                    shard.X.indptr,
+                    shard.X.indices,
+                    shard.X.data,
+                    shard.n_features,
+                    eps=config.sketch_eps / 2.0,
+                )
+            per_worker_seconds.append(sw.total)
             per_worker_bytes.append(sum(sk.wire_bytes for sk in local))
             if merged is None:
                 merged = local
             else:
                 merged = [a.merge(b) for a, b in zip(merged, local)]
         # Real wire accounting: what a worker's serialized sketches weigh.
-        charge_sketch_comm(max(per_worker_bytes))
-        clock.barrier(self._apply_speeds(per_worker_seconds), phase="CREATE_SKETCH")
+        sketch_bytes = max(per_worker_bytes)
+        charge_sketch_push(sketch_bytes)
+        clock.barrier(
+            scale_by_speeds(per_worker_seconds, cluster), phase="CREATE_SKETCH"
+        )
         assert merged is not None  # n_workers >= 1
-        return propose_candidates_from_sketches(merged, config.n_split_candidates)
-
-    def _compute_gradients(
-        self,
-        loss,
-        labels: list[np.ndarray],
-        raws: list[np.ndarray],
-        weights: list[np.ndarray | None],
-        clock: SimClock,
-    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        grads, hesses, seconds = [], [], []
-        for y, raw, w in zip(labels, raws, weights):
-            started = time.perf_counter()
-            g, h = loss.gradients(y, raw, w)
-            grads.append(g)
-            hesses.append(h)
-            seconds.append(time.perf_counter() - started)
-        clock.barrier(self._apply_speeds(seconds), phase="NEW_TREE")
-        return grads, hesses
-
-    def _build_node_histograms(
-        self,
-        shards: list[BinnedShard],
-        indexes: list[NodeInstanceIndex],
-        grads: list[np.ndarray],
-        hesses: list[np.ndarray],
-        node: int,
-        sparse_build: bool,
-        per_worker_seconds: list[float],
-    ) -> list[np.ndarray]:
-        """One node's local histograms, feature-major flat, per worker."""
-        config = self.config
-        flats = []
-        for wid, shard in enumerate(shards):
-            rows = indexes[wid].rows_of(node)
-            started = time.perf_counter()
-            if self.batched_build:
-                kernel = (
-                    build_node_histogram_sparse
-                    if sparse_build
-                    else build_node_histogram_dense
-                )
-                result = build_histogram_batched(
-                    shard,
-                    rows,
-                    grads[wid],
-                    hesses[wid],
-                    batch_size=config.batch_size,
-                    n_threads=config.n_threads,
-                    kernel=kernel,
-                )
-                histogram = result.histogram
-                # Charge the simulated multi-core span, not the serial wall.
-                per_worker_seconds[wid] += result.span_seconds
-            elif sparse_build:
-                histogram = build_node_histogram_sparse(
-                    shard, rows, grads[wid], hesses[wid]
-                )
-                per_worker_seconds[wid] += time.perf_counter() - started
-            else:
-                histogram = build_node_histogram_dense(
-                    shard, rows, grads[wid], hesses[wid]
-                )
-                per_worker_seconds[wid] += time.perf_counter() - started
-            flats.append(histogram.to_flat_feature_major())
-        return flats
-
-    def _grow_tree(
-        self,
-        backend: AggregationBackend,
-        shards: list[BinnedShard],
-        grads: list[np.ndarray],
-        hesses: list[np.ndarray],
-        feature_valid: np.ndarray,
-        clock: SimClock,
-        master: Master,
-    ) -> tuple[RegressionTree, list[np.ndarray]]:
-        config = self.config
-        cluster = self.cluster
-        sparse_build = (
-            not backend.dense_build
-            if self._sparse_build_override is None
-            else self._sparse_build_override
-        )
-        tree = RegressionTree(config.max_depth)
-        indexes = [
-            NodeInstanceIndex(shard.n_rows, config.max_nodes) for shard in shards
-        ]
-
-        # Root totals: each worker contributes two floats (tiny push).
-        total_g = float(sum(g.sum() for g in grads))
-        total_h = float(sum(h.sum() for h in hesses))
-        clock.advance_comm(
-            general_ps_push_time(
-                cluster.n_workers, cluster.n_servers, 16, self.cost, cluster.colocated
-            ),
-            phase="NEW_TREE",
-        )
-        node_totals: dict[int, tuple[float, float]] = {0: (total_g, total_h)}
-
-        active = [0]
-        eta = config.learning_rate
-        for depth in range(1, config.max_depth + 1):
-            if not active:
-                break
-            if depth == config.max_depth:
-                for node in active:
-                    g, h = node_totals[node]
-                    tree.set_leaf(
-                        node,
-                        eta * leaf_weight(g, h, config.reg_lambda),
-                        cover=float(h),
-                    )
-                active = []
-                break
-
-            # BUILD_HISTOGRAM for the whole layer.
-            for wid in range(cluster.n_workers):
-                master.enter_phase(wid, WorkerPhase.BUILD_HISTOGRAM)
-            per_worker_seconds = [0.0] * cluster.n_workers
-            for node in active:
-                flats = self._build_node_histograms(
-                    shards,
-                    indexes,
-                    grads,
-                    hesses,
-                    node,
-                    sparse_build,
-                    per_worker_seconds,
-                )
-                backend.aggregate_node(node, flats, clock)
-            clock.barrier(
-                self._apply_speeds(per_worker_seconds), phase="BUILD_HISTOGRAM"
-            )
-
-            # FIND_SPLIT.
-            for wid in range(cluster.n_workers):
-                master.enter_phase(wid, WorkerPhase.FIND_SPLIT)
-            decisions = backend.find_splits(active, feature_valid, clock)
-
-            # SPLIT_TREE.
-            for wid in range(cluster.n_workers):
-                master.enter_phase(wid, WorkerPhase.SPLIT_TREE)
-            next_active: list[int] = []
-            split_seconds = [0.0] * cluster.n_workers
-            for node in active:
-                decision = decisions.get(node)
-                if decision is None or decision.gain <= config.min_split_gain:
-                    g, h = node_totals[node]
-                    tree.set_leaf(
-                        node,
-                        eta * leaf_weight(g, h, config.reg_lambda),
-                        cover=float(h),
-                    )
-                    continue
-                left, right = tree.set_split(
-                    node,
-                    decision.feature,
-                    decision.value,
-                    gain=decision.gain,
-                    cover=decision.total_hess,
-                )
-                node_totals[left] = (decision.left_grad, decision.left_hess)
-                node_totals[right] = (decision.right_grad, decision.right_hess)
-                for wid, shard in enumerate(shards):
-                    rows = indexes[wid].rows_of(node)
-                    started = time.perf_counter()
-                    goes_left = shard.split_mask(
-                        rows, decision.feature, decision.bucket
-                    )
-                    indexes[wid].split(node, goes_left)
-                    split_seconds[wid] += time.perf_counter() - started
-                next_active.extend((left, right))
-            clock.barrier(self._apply_speeds(split_seconds), phase="SPLIT_TREE")
-            active = next_active
-
-        # Leaf assignment per worker from its index (free predictions).
-        leaf_assignments = []
-        for wid, shard in enumerate(shards):
-            assignment = np.zeros(shard.n_rows, dtype=np.int64)
-            for node in range(tree.max_nodes):
-                if tree.is_leaf(node) and indexes[wid].has_node(node):
-                    assignment[indexes[wid].rows_of(node)] = node
-            leaf_assignments.append(assignment)
-        return tree, leaf_assignments
-
-    def _record_round(
-        self,
-        t: int,
-        loss,
-        labels: list[np.ndarray],
-        raws: list[np.ndarray],
-        loading: float,
-        clock: SimClock,
-    ) -> RoundRecord:
-        """Global train loss/error (observability only; not charged)."""
-        y_all = np.concatenate(labels)
-        raw_all = np.concatenate(raws)
-        if loss.name == "logistic":
-            err = error_rate(y_all, loss.transform(raw_all))
-        else:
-            err = loss.loss(y_all, raw_all)
-        return RoundRecord(
-            tree_index=t,
-            sim_elapsed=loading + clock.time,
-            train_loss=loss.loss(y_all, raw_all),
-            train_error=err,
+        return (
+            propose_candidates_from_sketches(merged, config.n_split_candidates),
+            sketch_bytes,
         )
 
 

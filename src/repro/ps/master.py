@@ -122,6 +122,16 @@ class Master:
         if all(p is phase for p in self._phase):
             self._barriers_passed += 1
 
+    def enter_all(self, phase: WorkerPhase) -> None:
+        """Move every worker through the barrier into ``phase`` in id order.
+
+        The simulated cluster executes workers sequentially, so a phase
+        transition is always "all workers, one after another"; this is
+        the single entry point the runtime's phase stages use.
+        """
+        for worker_id in range(self.n_workers):
+            self.enter_phase(worker_id, phase)
+
     def health_report(self) -> dict[int, int]:
         """Heartbeat counts per worker (the periodic health check)."""
         return {wid: beats for wid, beats in enumerate(self._health_beats)}

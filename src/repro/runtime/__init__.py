@@ -1,0 +1,56 @@
+"""The unified training runtime.
+
+Four seams shared by every trainer (single-machine, multiclass,
+distributed):
+
+* :mod:`~repro.runtime.loop` — :class:`BoostingLoop`, the one per-tree
+  cycle, parameterized by a :class:`TreeGrowthStrategy`;
+* :mod:`~repro.runtime.phases` — :class:`PhaseRunner` /
+  :class:`PhaseStage`, the Section 4.4 worker phases as stage objects
+  owning lockstep transitions and time attribution;
+* :mod:`~repro.runtime.hooks` — the :class:`TrainerCallback` spine that
+  observability attaches to at stage boundaries;
+* :mod:`~repro.runtime.build` — :class:`HistogramBuildStrategy`
+  (dense / sparse / batched) replacing per-trainer boolean flags.
+
+See ``docs/runtime.md`` for how a new execution backend plugs in.
+"""
+
+from .build import (
+    BatchedBuildStrategy,
+    DenseBuildStrategy,
+    HistogramBuildStrategy,
+    SparseBuildStrategy,
+    resolve_build_strategy,
+)
+from .hooks import (
+    CallbackList,
+    HistoryCollector,
+    PhaseAccountant,
+    RecordingCallback,
+    TrainerCallback,
+    as_callback_list,
+)
+from .loop import BoostingLoop, TreeGrowthStrategy, sample_features
+from .phases import PhaseRunner, PhaseStage, WorkerTimer, scale_by_speeds
+
+__all__ = [
+    "BoostingLoop",
+    "TreeGrowthStrategy",
+    "sample_features",
+    "PhaseRunner",
+    "PhaseStage",
+    "WorkerTimer",
+    "scale_by_speeds",
+    "TrainerCallback",
+    "CallbackList",
+    "HistoryCollector",
+    "PhaseAccountant",
+    "RecordingCallback",
+    "as_callback_list",
+    "HistogramBuildStrategy",
+    "DenseBuildStrategy",
+    "SparseBuildStrategy",
+    "BatchedBuildStrategy",
+    "resolve_build_strategy",
+]

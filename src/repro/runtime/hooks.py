@@ -1,0 +1,217 @@
+"""The trainer hook spine: callbacks fired at stage boundaries.
+
+Every trainer — the single-machine :class:`~repro.boosting.gbdt.GBDT`,
+the distributed :class:`~repro.distributed.engine.DistributedGBDT`, and
+the multiclass trainer — drives the same :class:`TrainerCallback`
+protocol.  Observability (per-phase time accounting, per-round
+telemetry, progress printing) attaches here instead of being inlined in
+the engines, so future concerns (fault injection, checkpointing, async
+phase overlap) plug in at stage boundaries without editing trainer code.
+
+Event order for one distributed fit::
+
+    on_fit_start
+    CREATE_SKETCH  PULL_SKETCH            (once, tree_index=-1)
+    per tree: NEW_TREE  [BUILD_HISTOGRAM  FIND_SPLIT  SPLIT_TREE]*layer
+              on_tree_end
+    FINISH                                 (once, tree_index=-1)
+    on_fit_end
+
+The single-machine trainers fire the subset of phases they can attribute
+honestly (NEW_TREE around gradient computation; tree growth interleaves
+build/find/split per layer inside the grower and is not decomposed), so
+a callback written against this protocol runs unmodified on either
+trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..ps.master import WorkerPhase
+
+__all__ = [
+    "TrainerCallback",
+    "CallbackList",
+    "HistoryCollector",
+    "PhaseAccountant",
+    "RecordingCallback",
+]
+
+
+class TrainerCallback:
+    """Base class for trainer hooks; every handler defaults to a no-op.
+
+    Subclass and override the events you care about::
+
+        class Progress(TrainerCallback):
+            def on_tree_end(self, tree_index, record):
+                print(tree_index, record)
+
+    Handlers must not mutate trainer state; they observe it.  Exceptions
+    raised by a handler propagate and abort training (fail loudly rather
+    than silently dropping telemetry).
+    """
+
+    def on_fit_start(self, n_trees: int) -> None:
+        """Training is about to start (``n_trees`` boosting rounds)."""
+
+    def on_phase_start(self, phase: WorkerPhase, tree_index: int) -> None:
+        """The cluster (or single process) entered ``phase``.
+
+        ``tree_index`` is the 0-based boosting round, or ``-1`` for the
+        per-fit phases (CREATE_SKETCH, PULL_SKETCH, FINISH).
+        """
+
+    def on_phase_end(
+        self,
+        phase: WorkerPhase,
+        tree_index: int,
+        charges: Mapping[str, float],
+        wall_seconds: float,
+    ) -> None:
+        """The stage for ``phase`` finished.
+
+        Args:
+            phase: The worker phase that just completed.
+            tree_index: Boosting round, or ``-1`` for per-fit phases.
+            charges: Simulated seconds charged to the cluster clock while
+                the stage ran, keyed by cost-model phase label.  A stage
+                may charge labels other than its own (e.g. histogram
+                aggregation runs during BUILD_HISTOGRAM but its wire cost
+                is attributed to FIND_SPLIT, matching the paper's
+                accounting).  Empty for single-machine trainers.
+            wall_seconds: Real wall-clock duration of the stage.
+        """
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        """One boosting round finished; ``record`` is the trainer's
+        per-round telemetry (:class:`~repro.boosting.gbdt.BoostingRound`,
+        :class:`~repro.distributed.engine.RoundRecord`, or
+        :class:`~repro.boosting.multiclass.MulticlassRound`)."""
+
+    def on_fit_end(self, result: object) -> None:
+        """Training finished; ``result`` is the trainer's return value
+        (a model, or :class:`~repro.distributed.engine.DistributedResult`)."""
+
+
+class CallbackList(TrainerCallback):
+    """Dispatches every event to an ordered list of callbacks."""
+
+    def __init__(self, callbacks: Iterable[TrainerCallback] = ()) -> None:
+        self.callbacks: list[TrainerCallback] = list(callbacks)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def append(self, callback: TrainerCallback) -> None:
+        """Register one more callback (fires after the existing ones)."""
+        self.callbacks.append(callback)
+
+    def on_fit_start(self, n_trees: int) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_start(n_trees)
+
+    def on_phase_start(self, phase: WorkerPhase, tree_index: int) -> None:
+        for cb in self.callbacks:
+            cb.on_phase_start(phase, tree_index)
+
+    def on_phase_end(
+        self,
+        phase: WorkerPhase,
+        tree_index: int,
+        charges: Mapping[str, float],
+        wall_seconds: float,
+    ) -> None:
+        for cb in self.callbacks:
+            cb.on_phase_end(phase, tree_index, charges, wall_seconds)
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        for cb in self.callbacks:
+            cb.on_tree_end(tree_index, record)
+
+    def on_fit_end(self, result: object) -> None:
+        for cb in self.callbacks:
+            cb.on_fit_end(result)
+
+
+def as_callback_list(
+    callbacks: TrainerCallback | Sequence[TrainerCallback] | None,
+) -> CallbackList:
+    """Normalize a user-supplied callback argument to a CallbackList."""
+    if callbacks is None:
+        return CallbackList()
+    if isinstance(callbacks, CallbackList):
+        return callbacks
+    if isinstance(callbacks, TrainerCallback):
+        return CallbackList([callbacks])
+    return CallbackList(callbacks)
+
+
+class HistoryCollector(TrainerCallback):
+    """Appends every round's telemetry record to a shared list.
+
+    The trainers register one of these over their ``history`` /
+    ``rounds`` list, so per-round records flow through the same spine
+    user callbacks observe.
+    """
+
+    def __init__(self, records: list) -> None:
+        self.records = records
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        self.records.append(record)
+
+
+class PhaseAccountant(TrainerCallback):
+    """Accumulates the Table-3 style per-phase simulated seconds.
+
+    Merges the ``charges`` dict of every completed stage, so after a fit
+    :attr:`phases` reproduces the cluster clock's per-label totals — the
+    dict :class:`~repro.distributed.engine.DistributedResult` exposes.
+    """
+
+    def __init__(self) -> None:
+        self.phases: dict[str, float] = {}
+
+    def on_phase_end(
+        self,
+        phase: WorkerPhase,
+        tree_index: int,
+        charges: Mapping[str, float],
+        wall_seconds: float,
+    ) -> None:
+        for label, seconds in charges.items():
+            self.phases[label] = self.phases.get(label, 0.0) + seconds
+
+
+class RecordingCallback(TrainerCallback):
+    """Records every event as ``(event_name, payload...)`` tuples.
+
+    Test and debugging aid: the :attr:`events` list captures the exact
+    stage order a trainer executed.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_fit_start(self, n_trees: int) -> None:
+        self.events.append(("fit_start", n_trees))
+
+    def on_phase_start(self, phase: WorkerPhase, tree_index: int) -> None:
+        self.events.append(("phase_start", phase.value, tree_index))
+
+    def on_phase_end(
+        self,
+        phase: WorkerPhase,
+        tree_index: int,
+        charges: Mapping[str, float],
+        wall_seconds: float,
+    ) -> None:
+        self.events.append(("phase_end", phase.value, tree_index))
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        self.events.append(("tree_end", tree_index))
+
+    def on_fit_end(self, result: object) -> None:
+        self.events.append(("fit_end",))

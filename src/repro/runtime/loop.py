@@ -1,0 +1,141 @@
+"""The unified boosting loop shared by every trainer.
+
+One :class:`BoostingLoop` owns the per-tree cycle — gradients → feature
+sampling → tree growth → raw-score update → telemetry/early-stop — and
+delegates the data-layout-specific work to a :class:`TreeGrowthStrategy`.
+The single-machine trainer, the multiclass trainer, and the distributed
+engine each supply a strategy; none of them re-implements the cycle.
+
+Determinism note: feature sampling draws from
+``spawn_rng(seed, rng_stream, t)`` exactly as the pre-refactor trainers
+did, so models are bit-identical to theirs — including the cross-trainer
+guarantee that the distributed engine samples the same per-tree masks as
+the single-machine reference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..config import TrainConfig
+from ..errors import TrainingError
+from ..utils.rng import spawn_rng
+from .hooks import CallbackList
+
+__all__ = ["BoostingLoop", "TreeGrowthStrategy", "sample_features"]
+
+
+def sample_features(
+    n_features: int, ratio: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-tree feature sampling mask (Section 2.2).
+
+    Returns a boolean mask with ``ceil(ratio * n_features)`` features
+    enabled; with ratio 1.0 the mask is all-True (no sampling).
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise TrainingError(f"feature sample ratio must be in (0, 1], got {ratio}")
+    if ratio >= 1.0:
+        return np.ones(n_features, dtype=bool)
+    n_sampled = max(1, int(np.ceil(ratio * n_features)))
+    mask = np.zeros(n_features, dtype=bool)
+    mask[rng.choice(n_features, size=n_sampled, replace=False)] = True
+    return mask
+
+
+class TreeGrowthStrategy(ABC):
+    """The per-round operations a trainer plugs into the boosting loop.
+
+    A "grown unit" is whatever one round produces: a single
+    :class:`~repro.tree.tree.RegressionTree` for binary trainers, a list
+    of K trees for the multiclass trainer.  The loop never introspects
+    it — it only collects the units in order and hands them back.
+    """
+
+    #: Feature count the per-tree sampling mask is drawn over.
+    n_features: int
+
+    def begin_tree(self, tree_index: int) -> None:
+        """Per-round setup (default: nothing)."""
+
+    @abstractmethod
+    def compute_gradients(self, tree_index: int) -> object:
+        """First/second-order gradients at the current raw scores.
+
+        The return value is opaque to the loop; it is passed verbatim to
+        :meth:`grow`.
+        """
+
+    @abstractmethod
+    def grow(
+        self, tree_index: int, gradients: object, feature_valid: np.ndarray
+    ) -> object:
+        """Grow this round's tree(s) from the gradients and feature mask."""
+
+    @abstractmethod
+    def update_scores(self, tree_index: int, grown: object) -> None:
+        """Add the grown unit's (shrunk) predictions to the raw scores."""
+
+    @abstractmethod
+    def finish_round(self, tree_index: int, grown: object) -> object:
+        """Per-round telemetry record (delivered via ``on_tree_end``).
+
+        Evaluation-set scoring and best-round tracking belong here.
+        """
+
+    def should_stop(self, tree_index: int) -> bool:
+        """Early-stopping check, evaluated after ``finish_round``."""
+        return False
+
+    def finalize(self, grown_units: list) -> list:
+        """Post-loop adjustment of the collected units (e.g. truncating
+        to the best round after early stopping)."""
+        return grown_units
+
+
+class BoostingLoop:
+    """Drives ``config.n_trees`` rounds of one strategy.
+
+    Args:
+        strategy: The trainer's data-layout-specific operations.
+        config: Hyper-parameters (round count, feature sampling, seed).
+        callbacks: Hook spine receiving ``on_tree_end`` per round.
+        rng_stream: Label of the feature-sampling RNG stream (the
+            multiclass trainer historically uses its own stream).
+    """
+
+    def __init__(
+        self,
+        strategy: TreeGrowthStrategy,
+        config: TrainConfig,
+        callbacks: CallbackList | None = None,
+        rng_stream: str = "feature_sampling",
+    ) -> None:
+        self.strategy = strategy
+        self.config = config
+        self.callbacks = callbacks if callbacks is not None else CallbackList()
+        self.rng_stream = rng_stream
+
+    def run(self) -> list:
+        """Run the boosting rounds; returns the finalized grown units."""
+        config = self.config
+        strategy = self.strategy
+        grown_units: list = []
+        for t in range(config.n_trees):
+            strategy.begin_tree(t)
+            gradients = strategy.compute_gradients(t)
+            mask = sample_features(
+                strategy.n_features,
+                config.feature_sample_ratio,
+                spawn_rng(config.seed, self.rng_stream, t),
+            )
+            grown = strategy.grow(t, gradients, mask)
+            grown_units.append(grown)
+            strategy.update_scores(t, grown)
+            record = strategy.finish_round(t, grown)
+            self.callbacks.on_tree_end(t, record)
+            if strategy.should_stop(t):
+                break
+        return strategy.finalize(grown_units)

@@ -1,0 +1,189 @@
+"""Phase-stage objects: the Section 4.4 worker phases as runtime seams.
+
+The distributed engine used to interleave three concerns at every phase
+boundary: moving all workers through the master's lockstep machine
+(``for wid ...: master.enter_phase(...)``), measuring per-worker kernel
+wall-clock with ad-hoc ``time.perf_counter()`` pairs, and charging the
+simulated clock.  :class:`PhaseRunner` and :class:`PhaseStage` absorb
+all three, and additionally publish every stage through the
+:mod:`~repro.runtime.hooks` spine so observers see phase boundaries
+without the engine knowing about them.
+
+Usage::
+
+    runner = PhaseRunner(callbacks, master=master, clock=clock,
+                         cluster=cluster)
+    with runner.stage(WorkerPhase.BUILD_HISTOGRAM, tree_index=t) as stage:
+        timer = stage.worker_timer()
+        for wid in range(n_workers):
+            with timer.measure(wid):
+                ...numpy kernels...
+        stage.barrier(timer)       # charge the slowest (speed-scaled) worker
+
+A stage without master/clock (single-machine trainers) degrades to pure
+hook dispatch with wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..cluster.simclock import SimClock
+from ..config import ClusterConfig
+from ..ps.master import Master, WorkerPhase
+from .hooks import CallbackList
+
+__all__ = ["PhaseRunner", "PhaseStage", "WorkerTimer", "scale_by_speeds"]
+
+
+def scale_by_speeds(
+    per_worker_seconds: Sequence[float], cluster: ClusterConfig | None
+) -> list[float]:
+    """Scale measured per-worker compute by each worker's relative speed.
+
+    Models heterogeneous clusters: a half-speed worker takes twice its
+    measured time, and the phase barrier then waits for it.
+    """
+    if cluster is None:
+        return list(per_worker_seconds)
+    return [
+        seconds / cluster.speed_of(wid)
+        for wid, seconds in enumerate(per_worker_seconds)
+    ]
+
+
+class WorkerTimer:
+    """Accumulates measured compute seconds per simulated worker."""
+
+    def __init__(self, n_workers: int) -> None:
+        self.seconds = [0.0] * n_workers
+
+    @contextmanager
+    def measure(self, worker_id: int) -> Iterator[None]:
+        """Time a block of real kernel work on behalf of one worker."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[worker_id] += time.perf_counter() - started
+
+    def add(self, worker_id: int, seconds: float) -> None:
+        """Charge pre-measured (or simulated-span) seconds to a worker."""
+        self.seconds[worker_id] += seconds
+
+
+class PhaseStage:
+    """One execution of one worker phase, used as a context manager.
+
+    On entry: every worker passes the master's lockstep barrier into the
+    phase, and ``on_phase_start`` fires.  On exit: the simulated seconds
+    charged during the stage (grouped by cost-model label) and the real
+    wall-clock duration are reported through ``on_phase_end``.
+    """
+
+    def __init__(
+        self,
+        runner: "PhaseRunner",
+        phase: WorkerPhase,
+        tree_index: int,
+    ) -> None:
+        self.runner = runner
+        self.phase = phase
+        self.tree_index = tree_index
+        self._clock_snapshot: dict[str, float] = {}
+        self._started_at = 0.0
+
+    def __enter__(self) -> "PhaseStage":
+        runner = self.runner
+        if runner.master is not None:
+            runner.master.enter_all(self.phase)
+        if runner.clock is not None:
+            self._clock_snapshot = runner.clock.by_phase()
+        self._started_at = time.perf_counter()
+        runner.callbacks.on_phase_start(self.phase, self.tree_index)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        wall = time.perf_counter() - self._started_at
+        charges: dict[str, float] = {}
+        if self.runner.clock is not None:
+            after = self.runner.clock.by_phase()
+            before = self._clock_snapshot
+            for label, value in after.items():
+                if label not in before:
+                    charges[label] = value
+                elif value != before[label]:
+                    charges[label] = value - before[label]
+        self.runner.callbacks.on_phase_end(
+            self.phase, self.tree_index, charges, wall
+        )
+
+    # ------------------------------------------------------------------
+    # in-stage accounting helpers
+    # ------------------------------------------------------------------
+
+    def worker_timer(self) -> WorkerTimer:
+        """A fresh per-worker compute timer sized to the cluster."""
+        return WorkerTimer(self.runner.n_workers)
+
+    def barrier(self, timer: WorkerTimer) -> float:
+        """End the stage's parallel region: charge the slowest worker.
+
+        Per-worker seconds are speed-scaled first, then the maximum is
+        charged to the simulated clock under this stage's phase label.
+        Returns the seconds charged (0.0 without a clock).
+        """
+        clock = self.runner.clock
+        if clock is None:
+            return 0.0
+        return clock.barrier(
+            scale_by_speeds(timer.seconds, self.runner.cluster),
+            phase=self.phase.value,
+        )
+
+    def charge_comm(self, seconds: float) -> None:
+        """Charge communication time under this stage's phase label."""
+        if self.runner.clock is not None:
+            self.runner.clock.advance_comm(seconds, phase=self.phase.value)
+
+
+class PhaseRunner:
+    """Factory for :class:`PhaseStage` objects bound to one fit.
+
+    Args:
+        callbacks: The hook spine events are dispatched to.
+        master: Lockstep coordinator; ``None`` for single-machine runs
+            (no phase-machine validation).
+        clock: Simulated cluster clock; ``None`` for single-machine runs
+            (stages then report only wall-clock).
+        cluster: Cluster shape, used for worker count and speed scaling.
+    """
+
+    def __init__(
+        self,
+        callbacks: CallbackList,
+        master: Master | None = None,
+        clock: SimClock | None = None,
+        cluster: ClusterConfig | None = None,
+    ) -> None:
+        self.callbacks = callbacks
+        self.master = master
+        self.clock = clock
+        self.cluster = cluster
+
+    @property
+    def n_workers(self) -> int:
+        """Simulated worker count (1 for single-machine runs)."""
+        if self.cluster is not None:
+            return self.cluster.n_workers
+        if self.master is not None:
+            return self.master.n_workers
+        return 1
+
+    def stage(self, phase: WorkerPhase, tree_index: int = -1) -> PhaseStage:
+        """A context manager running one ``phase`` stage."""
+        return PhaseStage(self, phase, tree_index)

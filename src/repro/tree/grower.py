@@ -20,13 +20,9 @@ import numpy as np
 from ..config import TrainConfig
 from ..errors import TrainingError
 from ..histogram.binned import BinnedShard
-from ..histogram.builder import (
-    build_node_histogram_dense,
-    build_node_histogram_sparse,
-)
 from ..histogram.histogram import GradientHistogram
 from ..histogram.index import NodeInstanceIndex
-from ..histogram.parallel import build_histogram_batched
+from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
 from ..sketch.candidates import CandidateSet
 from .split import SplitDecision, find_best_split, leaf_weight
 from .tree import RegressionTree
@@ -66,6 +62,8 @@ class LayerwiseGrower:
             the paper (LightGBM's trick): only the smaller child of every
             split is built, roughly halving per-layer build work at the
             cost of keeping the parent histograms of one layer in memory.
+        build_strategy: Explicit histogram build strategy; overrides the
+            ``sparse_build`` / ``batched`` resolution when given.
     """
 
     def __init__(
@@ -77,6 +75,7 @@ class LayerwiseGrower:
         use_index: bool = True,
         batched: bool = False,
         subtraction: bool = False,
+        build_strategy: HistogramBuildStrategy | None = None,
     ) -> None:
         if shard.n_features != candidates.n_features:
             raise TrainingError(
@@ -89,6 +88,11 @@ class LayerwiseGrower:
         self.use_index = use_index
         self.batched = batched
         self.subtraction = subtraction
+        self.build_strategy = (
+            build_strategy
+            if build_strategy is not None
+            else resolve_build_strategy(config, sparse=sparse_build, batched=batched)
+        )
 
     # ------------------------------------------------------------------
     # histogram construction for one node
@@ -96,27 +100,10 @@ class LayerwiseGrower:
 
     def build_histogram(self, rows: np.ndarray) -> GradientHistogram:
         """Build one node histogram per the configured strategy."""
-        if self.batched:
-            kernel = (
-                build_node_histogram_sparse
-                if self.sparse_build
-                else build_node_histogram_dense
-            )
-            result = build_histogram_batched(
-                self.shard,
-                rows,
-                self._grad,
-                self._hess,
-                batch_size=self.config.batch_size,
-                n_threads=self.config.n_threads,
-                kernel=kernel,
-            )
-            return result.histogram
-        if self.sparse_build:
-            return build_node_histogram_sparse(
-                self.shard, rows, self._grad, self._hess
-            )
-        return build_node_histogram_dense(self.shard, rows, self._grad, self._hess)
+        histogram, _seconds = self.build_strategy.build(
+            self.shard, rows, self._grad, self._hess
+        )
+        return histogram
 
     # ------------------------------------------------------------------
     # growth

@@ -180,3 +180,50 @@ class TestGeneralPSPushTime:
         cost = CostParams()
         with pytest.raises(TrainingError):
             general_ps_push_time(0, 1, 100, cost)
+
+
+class TestMakeBackendValidation:
+    def test_unknown_option_raises_config_error(self, setup):
+        from repro.errors import ConfigError
+
+        candidates, cluster, config = setup
+        with pytest.raises(ConfigError) as excinfo:
+            make_backend(
+                "dimboost", cluster, config, candidates, two_phse=False
+            )
+        message = str(excinfo.value)
+        assert "two_phse" in message
+        assert "dimboost" in message
+        # The error teaches the accepted spelling.
+        assert "two_phase" in message
+
+    def test_backend_without_options_says_so(self, setup):
+        from repro.errors import ConfigError
+
+        candidates, cluster, config = setup
+        with pytest.raises(ConfigError) as excinfo:
+            make_backend("mllib", cluster, config, candidates, bogus=1)
+        message = str(excinfo.value)
+        assert "mllib" in message
+        assert "no extra options" in message
+
+    def test_unknown_system_still_training_error(self, setup):
+        candidates, cluster, config = setup
+        with pytest.raises(TrainingError):
+            make_backend("catboost", cluster, config, candidates)
+
+    def test_backend_options_lists_ablation_flags(self):
+        from repro.distributed.backends import backend_options
+
+        options = backend_options("dimboost")
+        assert "two_phase" in options
+        assert "use_scheduler" in options
+        assert "compression_bits" in options
+        assert backend_options("xgboost") == ()
+
+    def test_valid_options_still_accepted(self, setup):
+        candidates, cluster, config = setup
+        backend = make_backend(
+            "dimboost", cluster, config, candidates, two_phase=False
+        )
+        assert isinstance(backend, DimBoostBackend)

@@ -6,6 +6,7 @@ import pytest
 
 from repro import ClusterConfig, TrainConfig, train_distributed
 from repro.cluster import SimClock
+from repro.distributed import BACKEND_NAMES
 from repro.ps.master import WorkerPhase
 
 
@@ -58,6 +59,23 @@ class TestEnginePhases:
     def test_phase_names_match_worker_phases(self, result):
         valid = {phase.value for phase in WorkerPhase}
         assert set(result.phases) <= valid
+
+    @pytest.mark.parametrize("system", BACKEND_NAMES)
+    def test_phase_accounting_complete_for_every_system(
+        self, system, tiny_dataset
+    ):
+        """Invariant: the per-phase view is a complete decomposition.
+
+        The phases dict (populated through the hook spine) must sum to
+        the clock's computation + communication for every backend — a
+        stage charging outside its accounting window would break this.
+        """
+        config = TrainConfig(n_trees=2, max_depth=3, n_split_candidates=8)
+        result = train_distributed(
+            system, tiny_dataset, ClusterConfig(3, 3), config
+        )
+        charged = result.breakdown.computation + result.breakdown.communication
+        assert sum(result.phases.values()) == pytest.approx(charged, rel=1e-9)
 
     def test_find_split_dominated_by_comm_for_mllib(self, small_dataset):
         """MLlib's bottleneck is FIND_SPLIT (statistics aggregation).
