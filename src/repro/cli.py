@@ -86,6 +86,18 @@ def _add_train_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--reg-lambda", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--parallel-backend",
+        choices=("simulated", "threads", "process"),
+        default="simulated",
+        help="how histogram builds execute (process = real multicore)",
+    )
+    parser.add_argument(
+        "--n-processes",
+        type=int,
+        default=1,
+        help="worker processes for --parallel-backend process",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
@@ -98,6 +110,8 @@ def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
         feature_sample_ratio=args.feature_sample,
         reg_lambda=args.reg_lambda,
         compression_bits=bits,
+        parallel_backend=args.parallel_backend,
+        n_processes=args.n_processes,
         seed=args.seed,
     )
 

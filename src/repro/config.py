@@ -22,6 +22,9 @@ from .errors import ConfigError
 #: Loss names accepted by :class:`TrainConfig`.
 SUPPORTED_LOSSES = ("logistic", "squared")
 
+#: Histogram-build execution backends accepted by :class:`TrainConfig`.
+PARALLEL_BACKENDS = ("simulated", "threads", "process")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -56,6 +59,12 @@ class TrainConfig:
             construction.
         n_threads: Simulated per-worker thread count ``q`` used for the
             parallel-span accounting of batch construction.
+        n_processes: Worker processes for the ``"process"`` parallel
+            backend; 1 keeps histogram builds in the driving process.
+        parallel_backend: How batch histogram construction executes —
+            ``"simulated"`` (serial kernels, span accounting),
+            ``"threads"`` (real thread pool, GIL-capped), or
+            ``"process"`` (shared-memory process pool on real cores).
         sketch_eps: Rank-error bound of the Greenwald-Khanna sketch.
         seed: Seed for all stochastic choices (feature sampling, stochastic
             rounding, synthetic splits of data).
@@ -74,6 +83,8 @@ class TrainConfig:
     compression_bits: int = 8
     batch_size: int = 10_000
     n_threads: int = 20
+    n_processes: int = 1
+    parallel_backend: str = "simulated"
     sketch_eps: float = 0.01
     seed: int = 0
 
@@ -112,6 +123,15 @@ class TrainConfig:
         )
         _require(self.batch_size >= 1, f"batch_size must be >= 1, got {self.batch_size}")
         _require(self.n_threads >= 1, f"n_threads must be >= 1, got {self.n_threads}")
+        _require(
+            self.n_processes >= 1,
+            f"n_processes must be >= 1, got {self.n_processes}",
+        )
+        _require(
+            self.parallel_backend in PARALLEL_BACKENDS,
+            f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+            f"got {self.parallel_backend!r}",
+        )
         _require(
             0.0 < self.sketch_eps < 0.5,
             f"sketch_eps must be in (0, 0.5), got {self.sketch_eps}",

@@ -43,6 +43,7 @@ from ..config import ClusterConfig, TrainConfig
 from ..datasets.dataset import Dataset
 from ..datasets.partition import partition_rows
 from ..histogram.binned import BinnedShard
+from ..histogram.buffers import HistogramBufferPool
 from ..histogram.index import NodeInstanceIndex
 from ..ps.master import Master, WorkerPhase
 from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
@@ -314,6 +315,9 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
             )
             timer.add(wid, seconds)
             flats.append(histogram.to_flat_feature_major())
+            # The flat copy is what goes on the wire; the histogram's
+            # buffers can be recycled for the next node.
+            self.build_strategy.release(histogram)
         return flats
 
 
@@ -446,7 +450,14 @@ class DistributedGBDT:
             loading=loading,
             n_features=train.n_features,
         )
-        trees = BoostingLoop(strategy, config, callbacks=hooks).run()
+        try:
+            trees = BoostingLoop(strategy, config, callbacks=hooks).run()
+        finally:
+            # Resources (process pools, shared memory) of a strategy this
+            # fit resolved are this fit's to release; an injected strategy
+            # stays open for its owner.
+            if self._build_strategy_override is None:
+                build_strategy.close()
 
         with runner.stage(WorkerPhase.FINISH):
             pass
@@ -492,7 +503,10 @@ class DistributedGBDT:
             else self._sparse_build_override
         )
         return resolve_build_strategy(
-            self.config, sparse=sparse, batched=self.batched_build
+            self.config,
+            sparse=sparse,
+            batched=self.batched_build,
+            pool=HistogramBufferPool(),
         )
 
     def _propose_candidates(

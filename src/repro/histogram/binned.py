@@ -50,6 +50,10 @@ class BinnedShard:
         row_of: Row id of each nonzero.
         zero_bins: Bucket of value 0.0 for every feature.
         zero_slots: Flat slot of the zero bucket for every feature.
+        zero_slots_of_nz: Flat zero slot of each nonzero's feature —
+            ``zero_slots[features]`` hoisted out of the per-node builds.
+        feature_arange: Cached ``arange(n_features)``, the row index of
+            every per-feature settle/update step.
         n_rows, n_features, n_bins: Layout.
     """
 
@@ -61,6 +65,8 @@ class BinnedShard:
         "row_of",
         "zero_bins",
         "zero_slots",
+        "zero_slots_of_nz",
+        "feature_arange",
         "n_rows",
         "n_features",
         "n_bins",
@@ -81,9 +87,9 @@ class BinnedShard:
         self.slots = self.features * self.n_bins + self.bins.astype(np.int64)
         self.row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), X.row_nnz())
         self.zero_bins = candidates.zero_bins.astype(np.int64)
-        self.zero_slots = (
-            np.arange(self.n_features, dtype=np.int64) * self.n_bins + self.zero_bins
-        )
+        self.feature_arange = np.arange(self.n_features, dtype=np.int64)
+        self.zero_slots = self.feature_arange * self.n_bins + self.zero_bins
+        self.zero_slots_of_nz = self.zero_slots[self.features]
 
     @property
     def nnz(self) -> int:
@@ -117,7 +123,9 @@ class BinnedShard:
             return mask
         counts = self.indptr[rows + 1] - self.indptr[rows]
         local_row = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
-        at_feature = self.features[positions] == feature
+        # zero_slots is strictly increasing in the feature id, so matching
+        # the precomputed per-nonzero zero slot identifies the feature.
+        at_feature = self.zero_slots_of_nz[positions] == self.zero_slots[feature]
         mask[local_row[at_feature]] = self.bins[positions[at_feature]] <= bucket
         return mask
 

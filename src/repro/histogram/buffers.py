@@ -1,0 +1,69 @@
+"""Reusable histogram buffers.
+
+Every node build needs two ``M * n_bins`` float64 arrays.  On the hot
+paths that discard histograms right after consuming them (the
+distributed engine flattens each histogram onto the wire and drops it;
+the process-parallel strategy reduces worker slabs into a result the
+engine immediately serializes), allocating those arrays fresh per node
+means a page-faulting ``mmap`` per build.  :class:`HistogramBufferPool`
+recycles released buffers instead, so steady-state builds write into
+warm memory.
+
+The pool is deliberately simple: not thread-safe (one pool per
+strategy, used from the driving process only), and buffers come back
+with undefined contents — every kernel overwrites its output in full.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .histogram import GradientHistogram
+
+__all__ = ["HistogramBufferPool"]
+
+
+class HistogramBufferPool:
+    """Recycles ``(n_features, n_bins)`` histogram buffer pairs.
+
+    ``acquire`` pops a released buffer of the requested layout (contents
+    undefined) or allocates a fresh zeroed one; ``release`` returns a
+    histogram's arrays to the pool.  Callers must not touch a histogram
+    after releasing it.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple[int, int], list[GradientHistogram]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, n_features: int, n_bins: int) -> GradientHistogram:
+        """A histogram buffer of the given layout; contents undefined."""
+        stack = self._free.get((n_features, n_bins))
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return GradientHistogram.zeros(n_features, n_bins)
+
+    def release(self, histogram: GradientHistogram) -> None:
+        """Return a histogram's buffers for reuse."""
+        key = (histogram.n_features, histogram.n_bins)
+        self._free.setdefault(key, []).append(histogram)
+
+    def clear(self) -> None:
+        """Drop all pooled buffers (and the hit/miss counters)."""
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def n_free(self) -> int:
+        """Number of buffer pairs currently pooled."""
+        return sum(len(stack) for stack in self._free.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramBufferPool(free={self.n_free}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -43,9 +43,15 @@ class ParallelBuildResult:
     Attributes:
         histogram: The summed histogram (identical to a sequential build).
         n_batches: Number of batches the range was divided into.
-        batch_seconds: Measured build time of each batch.
+        batch_seconds: Measured build time of each batch, indexed by
+            batch (batch ``i``'s time is ``batch_seconds[i]`` no matter
+            which worker ran it or when it finished).
         span_seconds: Simulated makespan on ``n_threads`` threads.
         wall_seconds: Real elapsed wall-clock of the whole build.
+        serial_seconds: Sum of the per-batch times — what one core would
+            have spent on the same batches.
+        backend: How the batches actually ran: ``"simulated"`` (serial
+            loop, span-only accounting), ``"threads"``, or ``"process"``.
     """
 
     histogram: GradientHistogram
@@ -53,6 +59,20 @@ class ParallelBuildResult:
     batch_seconds: tuple[float, ...]
     span_seconds: float
     wall_seconds: float
+    serial_seconds: float = 0.0
+    backend: str = "simulated"
+
+    @property
+    def real_speedup(self) -> float:
+        """Measured speedup of the parallel build over one core.
+
+        ``serial_seconds / wall_seconds`` — only meaningful for the
+        ``"threads"`` / ``"process"`` backends, where the wall-clock is a
+        genuinely concurrent run.
+        """
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.wall_seconds
 
 
 def simulate_span(batch_seconds: list[float], n_threads: int) -> float:
@@ -110,19 +130,24 @@ def build_histogram_batched(
         batches = [rows]
 
     wall_start = time.perf_counter()
-    batch_seconds: list[float] = []
+    # Indexed by batch, not appended in completion order: threads finish
+    # in nondeterministic order, and the span account must be reproducible
+    # for a fixed seed.
+    batch_seconds = [0.0] * len(batches)
 
-    def run_batch(batch: np.ndarray) -> GradientHistogram:
+    def run_batch(item: tuple[int, np.ndarray]) -> GradientHistogram:
+        index, batch = item
         t0 = time.perf_counter()
         part = kernel(shard, batch, grad, hess)
-        batch_seconds.append(time.perf_counter() - t0)
+        batch_seconds[index] = time.perf_counter() - t0
         return part
 
-    if use_real_threads and len(batches) > 1 and n_threads > 1:
+    threaded = use_real_threads and len(batches) > 1 and n_threads > 1
+    if threaded:
         with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            parts = list(pool.map(run_batch, batches))
+            parts = list(pool.map(run_batch, enumerate(batches)))
     else:
-        parts = [run_batch(batch) for batch in batches]
+        parts = [run_batch(item) for item in enumerate(batches)]
 
     total = parts[0]
     for part in parts[1:]:
@@ -134,4 +159,6 @@ def build_histogram_batched(
         batch_seconds=tuple(batch_seconds),
         span_seconds=simulate_span(batch_seconds, n_threads),
         wall_seconds=wall_seconds,
+        serial_seconds=sum(batch_seconds),
+        backend="threads" if threaded else "simulated",
     )

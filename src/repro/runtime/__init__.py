@@ -11,7 +11,8 @@ distributed):
 * :mod:`~repro.runtime.hooks` — the :class:`TrainerCallback` spine that
   observability attaches to at stage boundaries;
 * :mod:`~repro.runtime.build` — :class:`HistogramBuildStrategy`
-  (dense / sparse / batched) replacing per-trainer boolean flags.
+  (dense / sparse / batched / process-parallel) replacing per-trainer
+  boolean flags.
 
 See ``docs/runtime.md`` for how a new execution backend plugs in.
 """
@@ -20,6 +21,7 @@ from .build import (
     BatchedBuildStrategy,
     DenseBuildStrategy,
     HistogramBuildStrategy,
+    ProcessParallelBuildStrategy,
     SparseBuildStrategy,
     resolve_build_strategy,
 )
@@ -52,5 +54,6 @@ __all__ = [
     "DenseBuildStrategy",
     "SparseBuildStrategy",
     "BatchedBuildStrategy",
+    "ProcessParallelBuildStrategy",
     "resolve_build_strategy",
 ]

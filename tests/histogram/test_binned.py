@@ -127,3 +127,22 @@ class TestSplitMask:
     def test_feature_out_of_range(self, tiny_shard):
         with pytest.raises(DataError):
             tiny_shard.split_mask(np.array([0]), 10_000, 0)
+
+
+class TestPrecomputedSlotCaches:
+    def test_zero_slots_of_nz_matches_gather(self, tiny_shard):
+        np.testing.assert_array_equal(
+            tiny_shard.zero_slots_of_nz,
+            tiny_shard.zero_slots[tiny_shard.features],
+        )
+
+    def test_feature_arange(self, tiny_shard):
+        np.testing.assert_array_equal(
+            tiny_shard.feature_arange,
+            np.arange(tiny_shard.n_features, dtype=np.int64),
+        )
+
+    def test_zero_slots_injective_in_feature(self, tiny_shard):
+        """split_mask's fast path relies on zero_slots identifying the
+        feature uniquely."""
+        assert len(np.unique(tiny_shard.zero_slots)) == tiny_shard.n_features
