@@ -1,0 +1,246 @@
+"""Deterministic interpretation of a :class:`~repro.chaos.plan.FaultPlan`.
+
+The injector is consulted at every named fault point and answers with a
+small decision object (:class:`OpPlan` for messages, :class:`SiteFault`
+for execution sites).  Decisions are made *once per occasion*: when a
+message is retried after a failed delivery attempt, the fabric keeps
+consuming the same :class:`OpPlan` rather than re-consulting the
+injector, so a fault that was declared to fail two attempts fails
+exactly two attempts — deterministically, across replays.
+
+Occasion counting is the heart of determinism.  Every (event, point)
+pair keeps a counter of *matching occasions*; an event fires on
+occasions where ``occasion % every == 0`` until it has fired ``times``
+times.  Counters reset per round for round-scoped events only implicitly
+— they are global monotone counters, which keeps replays consistent:
+when a round is rolled back and replayed, the injector is rewound to its
+pre-round snapshot (:meth:`FaultInjector.begin_round`), so the replay
+sees the same counters the first attempt saw — minus any single-shot
+events that already fired and were consumed (a crash that fired is not
+re-armed on the replay, which is what lets the replay complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterFaultError
+from .plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "COUNTER_KEYS",
+    "FaultInjector",
+    "InjectedCrash",
+    "OpPlan",
+    "SiteFault",
+]
+
+#: Counter names the injector maintains (see ``FaultInjector.counters``).
+COUNTER_KEYS = (
+    "injected",
+    "crashes",
+    "drops",
+    "duplicates",
+    "server_down",
+    "delays",
+    "retried",
+    "recovered",
+)
+
+_KIND_COUNTER = {
+    "crash": "crashes",
+    "drop": "drops",
+    "duplicate": "duplicates",
+    "server_down": "server_down",
+    "delay": "delays",
+}
+
+
+class InjectedCrash(ClusterFaultError):
+    """A worker was killed by an injected ``crash`` fault.
+
+    Caught by the recovery layer (``RoundRecovery``), which rolls the run
+    back to the last checkpoint; it only escapes to the caller when the
+    per-round recovery budget is exhausted.
+    """
+
+    def __init__(self, worker: int, point: str, round_index: int) -> None:
+        super().__init__(
+            f"worker {worker} crashed at {point!r} in round {round_index}"
+        )
+        self.worker = worker
+        self.point = point
+        self.round_index = round_index
+
+
+@dataclass
+class OpPlan:
+    """The injector's decision for one logical PS message.
+
+    ``fail_attempts`` is consumed by the fabric's retry loop: each failed
+    delivery attempt decrements it, and delivery succeeds once it hits
+    zero (if the retry budget allows that many attempts).
+    """
+
+    fail_attempts: int = 0
+    server_down: bool = False
+    duplicate: bool = False
+    crash_worker: int | None = None
+    delay_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SiteFault:
+    """The injector's decision for one execution-site occasion."""
+
+    delay_seconds: float = 0.0
+    crash_worker: int | None = None
+
+
+@dataclass
+class _EventState:
+    """Mutable firing state for one armed event."""
+
+    occasions: int = 0
+    fired: int = 0
+
+
+@dataclass
+class _Snapshot:
+    round_index: int
+    counters: dict[str, int]
+    states: list[_EventState]
+
+
+class FaultInjector:
+    """Turns a static plan into per-occasion injection decisions."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.round_index = -1
+        self.counters: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+        self._states = [_EventState() for _ in plan.events]
+        self._round_entry: _Snapshot | None = None
+
+    # ------------------------------------------------------------------
+    # round lifecycle (replay support)
+    # ------------------------------------------------------------------
+
+    def begin_round(self, round_index: int) -> None:
+        """Arm the injector for a boosting round, snapshotting its state.
+
+        Replaying the *same* round (after a rollback) restores the
+        snapshot so occasion counters match the first attempt — except
+        that single-shot events which already fired stay consumed, which
+        is what allows the replay to get past the fault.
+        """
+        if (
+            self._round_entry is not None
+            and self._round_entry.round_index == round_index
+        ):
+            # Rewind the occasion counters so the replay matches the
+            # first attempt; keep `fired` (a consumed single-shot fault
+            # stays consumed) and the global totals (those faults really
+            # were injected).
+            self._states = [
+                _EventState(occasions=snap.occasions, fired=state.fired)
+                for snap, state in zip(self._round_entry.states, self._states)
+            ]
+        else:
+            self._round_entry = _Snapshot(
+                round_index=round_index,
+                counters=dict(self.counters),
+                states=[
+                    _EventState(occasions=state.occasions, fired=state.fired)
+                    for state in self._states
+                ],
+            )
+        self.round_index = round_index
+
+    # ------------------------------------------------------------------
+    # decision points
+    # ------------------------------------------------------------------
+
+    def op_plan(
+        self, point: str, *, worker: int | None, server: int | None
+    ) -> OpPlan:
+        """Decide the fate of one logical PS message (made once; retries
+        of the same message consume this plan rather than re-asking)."""
+        decision = OpPlan()
+        for event, state in self._matching(point, worker=worker, server=server):
+            if not self._fires(event, state):
+                continue
+            self._count(event)
+            if event.kind == "crash":
+                decision.crash_worker = event.worker
+            elif event.kind == "drop":
+                decision.fail_attempts = max(decision.fail_attempts, event.attempts)
+            elif event.kind == "server_down":
+                decision.fail_attempts = max(decision.fail_attempts, event.attempts)
+                decision.server_down = True
+            elif event.kind == "duplicate":
+                decision.duplicate = True
+            elif event.kind == "delay":
+                decision.delay_seconds += event.delay_seconds
+        return decision
+
+    def site_fault(self, point: str, *, worker: int | None) -> SiteFault:
+        """Decide what happens at one execution-site occasion."""
+        delay = 0.0
+        crash: int | None = None
+        for event, state in self._matching(point, worker=worker, server=None):
+            if not self._fires(event, state):
+                continue
+            self._count(event)
+            if event.kind == "crash":
+                crash = event.worker
+            elif event.kind == "delay":
+                delay += event.delay_seconds
+        return SiteFault(delay_seconds=delay, crash_worker=crash)
+
+    def note_retry(self, n: int = 1) -> None:
+        """Record delivery retries performed by the fabric."""
+        self.counters["retried"] += n
+
+    def note_recovered(self, n: int = 1) -> None:
+        """Record faults fully recovered (message delivered / round replayed)."""
+        self.counters["recovered"] += n
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _matching(self, point: str, *, worker: int | None, server: int | None):
+        for event, state in zip(self.plan.events, self._states):
+            if event.point != point:
+                continue
+            if event.round_ is not None and event.round_ != self.round_index:
+                continue
+            if (
+                event.worker is not None
+                and worker is not None
+                and event.worker != worker
+            ):
+                continue
+            if (
+                event.server is not None
+                and server is not None
+                and event.server != server
+            ):
+                continue
+            yield event, state
+
+    @staticmethod
+    def _fires(event: FaultEvent, state: _EventState) -> bool:
+        occasion = state.occasions
+        state.occasions += 1
+        if event.times is not None and state.fired >= event.times:
+            return False
+        if occasion % event.every != 0:
+            return False
+        state.fired += 1
+        return True
+
+    def _count(self, event: FaultEvent) -> None:
+        self.counters["injected"] += 1
+        self.counters[_KIND_COUNTER[event.kind]] += 1

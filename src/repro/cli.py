@@ -25,6 +25,7 @@ import numpy as np
 from . import __version__
 from .boosting import GBDTModel, accuracy, auc, error_rate, logloss, rmse
 from .boosting.gbdt import GBDT
+from .chaos import FaultPlan
 from .config import ClusterConfig, TrainConfig
 from .datasets import (
     gender_like,
@@ -113,6 +114,8 @@ def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
         parallel_backend=args.parallel_backend,
         n_processes=args.n_processes,
         seed=args.seed,
+        max_retries=getattr(args, "max_retries", 3),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
     )
 
 
@@ -132,10 +135,27 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"loaded {data}")
     config = _config_from_args(args, bits=args.compression_bits)
     callbacks = [_ProgressCallback()] if args.progress else []
+    fault_plan = None
+    if args.fault_plan:
+        if not args.system:
+            print(
+                "error: --fault-plan requires --system (fault injection "
+                "targets the simulated cluster)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan = FaultPlan.load(args.fault_plan)
+        label = fault_plan.name or args.fault_plan
+        print(f"fault plan {label}: {len(fault_plan)} event(s)")
     if args.system:
         cluster = ClusterConfig(n_workers=args.workers, n_servers=args.servers)
         result = train_distributed(
-            args.system, data, cluster, config, callbacks=callbacks
+            args.system,
+            data,
+            cluster,
+            config,
+            callbacks=callbacks,
+            fault_plan=fault_plan,
         )
         model = result.model
         print(
@@ -143,6 +163,8 @@ def cmd_train(args: argparse.Namespace) -> int:
             f"in {result.sim_seconds:.3f} simulated seconds "
             f"({result.breakdown.as_dict()})"
         )
+        if result.faults is not None:
+            print(f"fault report: {result.faults['totals']}")
     else:
         trainer = GBDT(config)
         model = trainer.fit(data, callbacks=callbacks)
@@ -246,6 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print per-tree progress while training",
+    )
+    train.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH",
+        help="JSON FaultPlan to inject while training (requires --system)",
+    )
+    train.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="delivery retries / rollback attempts before ClusterFaultError",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="boosting rounds between recovery checkpoints",
     )
     _add_train_options(train)
     train.set_defaults(func=cmd_train)

@@ -68,6 +68,11 @@ class TrainConfig:
         sketch_eps: Rank-error bound of the Greenwald-Khanna sketch.
         seed: Seed for all stochastic choices (feature sampling, stochastic
             rounding, synthetic splits of data).
+        max_retries: Delivery retries per PS message and rollback attempts
+            per round when a fault plan is active; a fault persisting past
+            this budget raises ``ClusterFaultError``.
+        checkpoint_every: Cadence (in completed boosting rounds) of the
+            recovery checkpoints a faulted run can roll back to.
     """
 
     n_trees: int = 20
@@ -87,6 +92,8 @@ class TrainConfig:
     parallel_backend: str = "simulated"
     sketch_eps: float = 0.01
     seed: int = 0
+    max_retries: int = 3
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         _require(self.n_trees >= 1, f"n_trees must be >= 1, got {self.n_trees}")
@@ -135,6 +142,14 @@ class TrainConfig:
         _require(
             0.0 < self.sketch_eps < 0.5,
             f"sketch_eps must be in (0, 0.5), got {self.sketch_eps}",
+        )
+        _require(
+            self.max_retries >= 0,
+            f"max_retries must be >= 0, got {self.max_retries}",
+        )
+        _require(
+            self.checkpoint_every >= 1,
+            f"checkpoint_every must be >= 1, got {self.checkpoint_every}",
         )
 
     @property

@@ -302,14 +302,19 @@ class TencentBoostBackend(AggregationBackend):
     aggregation), but one leader worker pulls every node's *full* merged
     histogram back and finds all splits itself — no scheduler, no
     two-phase split, no compression.
+
+    ``fabric`` (both PS backends): optional ``chaos.FaultyFabric`` the
+    server group routes every message through; pushes then carry a
+    ``(tree_index, worker_id)`` sequence token so retried or duplicated
+    deliveries never double-count a histogram.
     """
 
     name = "tencentboost"
     build_mode = "dense"
 
-    def __init__(self, cluster, config, candidates) -> None:
+    def __init__(self, cluster, config, candidates, fabric=None) -> None:
         super().__init__(cluster, config, candidates)
-        self.group = ParameterServerGroup(cluster.n_servers)
+        self.group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
         self.group.register(
             "grad_hist",
             self.flat_len,
@@ -317,8 +322,14 @@ class TencentBoostBackend(AggregationBackend):
         )
 
     def aggregate_node(self, node, local_flats, clock) -> None:
-        for flat in local_flats:
-            self.group.push_row("grad_hist", node, flat)
+        for worker_id, flat in enumerate(local_flats):
+            self.group.push_row(
+                "grad_hist",
+                node,
+                flat,
+                seq=(self._tree_index, worker_id),
+                worker=worker_id,
+            )
         clock.advance_comm(
             general_ps_push_time(
                 len(local_flats),
@@ -334,8 +345,9 @@ class TencentBoostBackend(AggregationBackend):
         decisions: dict[int, SplitDecision | None] = {}
         p = self.cluster.n_servers
         leader_seconds = 0.0
+        leader = 0  # the paper's "leader worker" pulls and scans everything
         for node in nodes:
-            flat, _stats = self.group.pull_row("grad_hist", node)
+            flat, _stats = self.group.pull_row("grad_hist", node, worker=leader)
             # Full-histogram pull serialized at the leader's NIC.
             clock.advance_comm(
                 p * self.cost.alpha + self.flat_bytes * self.cost.beta,
@@ -386,9 +398,10 @@ class DimBoostBackend(AggregationBackend):
         two_phase: bool = True,
         compression_bits: int | None = None,
         speed_aware_scheduler: bool = False,
+        fabric=None,
     ) -> None:
         super().__init__(cluster, config, candidates)
-        self.group = ParameterServerGroup(cluster.n_servers)
+        self.group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
         self.group.register("grad_hist", self.flat_len, align=2 * self.n_bins)
         self.use_scheduler = use_scheduler
         self.two_phase = two_phase
@@ -466,6 +479,8 @@ class DimBoostBackend(AggregationBackend):
                 # One scale per per-feature g/h histogram (Section 6.1's
                 # "the maximal absolute value in the histogram").
                 compression_block=self.n_bins,
+                seq=(self._tree_index, worker_id),
+                worker=worker_id,
             )
             pushed.append(stats.bytes_up + (8 if self.compression_bits else 0))
         if self.compression_bits:
@@ -523,7 +538,11 @@ class DimBoostBackend(AggregationBackend):
                     udf = self._make_udf(feature_valid, node)
                     started = time.perf_counter()
                     results, _stats = self.group.pull_row_udf(
-                        "grad_hist", node, udf, result_bytes=DECISION_BYTES
+                        "grad_hist",
+                        node,
+                        udf,
+                        result_bytes=DECISION_BYTES,
+                        worker=worker_id,
                     )
                     scan_wall = time.perf_counter() - started
                     decisions[node] = combine_shard_decisions(
@@ -535,7 +554,9 @@ class DimBoostBackend(AggregationBackend):
                     per_worker_seconds[worker_id] += scan_wall / p
                     comm_seconds += p * point_to_point_time(DECISION_BYTES, self.cost)
                 else:
-                    flat, _stats = self.group.pull_row("grad_hist", node)
+                    flat, _stats = self.group.pull_row(
+                        "grad_hist", node, worker=worker_id
+                    )
                     comm_seconds += p * self.cost.alpha + (
                         self.flat_bytes * self.cost.beta
                     )

@@ -37,6 +37,12 @@ import numpy as np
 from ..boosting.losses import get_loss
 from ..boosting.metrics import error_rate
 from ..boosting.model import GBDTModel
+from ..chaos import (
+    FAULT_RECOVERY_PHASE,
+    ChaosRuntime,
+    FaultPlan,
+    RoundRecovery,
+)
 from ..cluster.costmodel import CostParams
 from ..cluster.simclock import SimClock
 from ..config import ClusterConfig, TrainConfig
@@ -49,6 +55,7 @@ from ..ps.master import Master, WorkerPhase
 from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
 from ..runtime.hooks import (
     CallbackList,
+    FaultAccountant,
     HistoryCollector,
     PhaseAccountant,
     TrainerCallback,
@@ -64,7 +71,12 @@ from ..sketch.quantile import GKSketch, sketch_columns
 from ..tree.split import leaf_weight
 from ..tree.tree import RegressionTree
 from ..utils.timing import Stopwatch, TimeBreakdown
-from .backends import AggregationBackend, general_ps_push_time, make_backend
+from .backends import (
+    AggregationBackend,
+    backend_options,
+    general_ps_push_time,
+    make_backend,
+)
 
 
 @dataclass
@@ -93,6 +105,10 @@ class DistributedResult:
         rounds: Per-tree convergence telemetry.
         phases: Simulated seconds charged per worker phase
             (CREATE_SKETCH ... SPLIT_TREE) — the Table 3 style view.
+            Fault-recovery time appears under ``FAULT_RECOVERY``.
+        faults: The :class:`~repro.runtime.hooks.FaultAccountant` report
+            (``{"per_round": ..., "totals": ...}``) when a fault plan was
+            active, else None.
     """
 
     model: GBDTModel
@@ -100,6 +116,7 @@ class DistributedResult:
     breakdown: TimeBreakdown
     rounds: list[RoundRecord] = field(default_factory=list)
     phases: dict[str, float] = field(default_factory=dict)
+    faults: dict | None = None
 
     @property
     def sim_seconds(self) -> float:
@@ -133,6 +150,7 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         runner: PhaseRunner,
         loading: float,
         n_features: int,
+        chaos: ChaosRuntime | None = None,
     ) -> None:
         self.cluster = cluster
         self.config = config
@@ -148,8 +166,20 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         self.runner = runner
         self.loading = loading
         self.n_features = n_features
+        self.chaos = chaos
         self._root_totals = (0.0, 0.0)
         self._leaf_assignments: list[np.ndarray] = []
+
+    def _site(self, point: str, worker: int, timer=None) -> None:
+        """Fire an execution-site fault point (no-op without chaos)."""
+        if self.chaos is not None:
+            self.chaos.site_fault(point, worker=worker, timer=timer)
+
+    def _barrier_faults(self, timer=None) -> None:
+        """Every worker arrives at a stage barrier, in id order."""
+        if self.chaos is not None:
+            for wid in range(self.cluster.n_workers):
+                self._site("barrier", wid, timer)
 
     # ------------------------------------------------------------------
     # TreeGrowthStrategy
@@ -170,6 +200,7 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                     g, h = self.loss.gradients(y, raw, w)
                 grads.append(g)
                 hesses.append(h)
+            self._barrier_faults(timer)
             stage.barrier(timer)
             # Root totals: each worker contributes two floats (tiny push).
             total_g = float(sum(g.sum() for g in grads))
@@ -223,12 +254,14 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                         indexes, grads, hesses, node, timer
                     )
                     self.backend.aggregate_node(node, flats, self.clock)
+                self._barrier_faults(timer)
                 stage.barrier(timer)
 
             with runner.stage(WorkerPhase.FIND_SPLIT, tree_index):
                 decisions = self.backend.find_splits(
                     active, feature_valid, self.clock
                 )
+                self._barrier_faults()
 
             with runner.stage(WorkerPhase.SPLIT_TREE, tree_index) as stage:
                 timer = stage.worker_timer()
@@ -260,6 +293,7 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                             )
                             indexes[wid].split(node, goes_left)
                     next_active.extend((left, right))
+                self._barrier_faults(timer)
                 stage.barrier(timer)
             active = next_active
 
@@ -309,6 +343,7 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         """One node's local histograms, feature-major flat, per worker."""
         flats = []
         for wid, shard in enumerate(self.shards):
+            self._site("histogram_build", wid, timer)
             rows = indexes[wid].rows_of(node)
             histogram, seconds = self.build_strategy.build(
                 shard, rows, grads[wid], hesses[wid]
@@ -342,6 +377,13 @@ class DistributedGBDT:
             ``sparse_build`` / ``batched_build`` resolution when given.
         callbacks: Trainer hooks observing every fit (see
             :mod:`repro.runtime.hooks`).
+        fault_plan: Optional :class:`~repro.chaos.FaultPlan`; when given,
+            the fit runs under fault injection with bounded-retry +
+            rollback-replay recovery (``config.max_retries`` /
+            ``config.checkpoint_every``) and the result carries the
+            :attr:`DistributedResult.faults` report.  Message faults
+            (drop/duplicate/server_down) need a PS backend
+            ("tencentboost" / "dimboost").
         backend_kwargs: Extra arguments for the backend (e.g. DimBoost's
             ``two_phase=False`` ablation); validated against the
             backend's accepted options.
@@ -358,6 +400,7 @@ class DistributedGBDT:
         distributed_sketch: bool = False,
         build_strategy: HistogramBuildStrategy | None = None,
         callbacks: Sequence[TrainerCallback] = (),
+        fault_plan: FaultPlan | None = None,
         **backend_kwargs,
     ) -> None:
         self.system = system
@@ -369,6 +412,7 @@ class DistributedGBDT:
         self.distributed_sketch = distributed_sketch
         self._build_strategy_override = build_strategy
         self.callbacks = list(callbacks)
+        self.fault_plan = fault_plan
         self._backend_kwargs = backend_kwargs
         self.cost = CostParams(
             self.cluster.network.alpha,
@@ -388,10 +432,26 @@ class DistributedGBDT:
         clock = SimClock()
         master = Master(cluster.n_workers)
 
+        chaos: ChaosRuntime | None = None
+        fault_accountant: FaultAccountant | None = None
+        if self.fault_plan is not None:
+            chaos = ChaosRuntime(
+                self.fault_plan,
+                clock=clock,
+                cost=cluster.network,
+                max_retries=config.max_retries,
+            )
+            fault_accountant = FaultAccountant(chaos)
+
         accountant = PhaseAccountant()
         rounds: list[RoundRecord] = []
         hooks = CallbackList(
-            [accountant, HistoryCollector(rounds), *self.callbacks]
+            [
+                accountant,
+                HistoryCollector(rounds),
+                *((fault_accountant,) if fault_accountant else ()),
+                *self.callbacks,
+            ]
         )
         runner = PhaseRunner(hooks, master=master, clock=clock, cluster=cluster)
         hooks.on_fit_start(config.n_trees)
@@ -416,8 +476,11 @@ class DistributedGBDT:
                 + sketch_bytes * self.cost.beta
             )
 
+        backend_kwargs = dict(self._backend_kwargs)
+        if chaos is not None and "fabric" in backend_options(self.system):
+            backend_kwargs.setdefault("fabric", chaos.fabric)
         backend = make_backend(
-            self.system, cluster, config, candidates, **self._backend_kwargs
+            self.system, cluster, config, candidates, **backend_kwargs
         )
         build_strategy = self._resolve_build_strategy(backend)
 
@@ -449,9 +512,32 @@ class DistributedGBDT:
             runner=runner,
             loading=loading,
             n_features=train.n_features,
+            chaos=chaos,
         )
+        recovery = None
+        if chaos is not None:
+
+            def capture() -> list[np.ndarray]:
+                return [raw.copy() for raw in raws]
+
+            def restore(state: list[np.ndarray]) -> None:
+                for raw, saved in zip(raws, state):
+                    raw[:] = saved
+
+            recovery = RoundRecovery(
+                capture=capture,
+                restore=restore,
+                master=master,
+                clock=clock,
+                injector=chaos.injector,
+                policy=chaos.policy,
+                checkpoint_every=config.checkpoint_every,
+                records=rounds,
+            )
         try:
-            trees = BoostingLoop(strategy, config, callbacks=hooks).run()
+            trees = BoostingLoop(
+                strategy, config, callbacks=hooks, recovery=recovery
+            ).run()
         finally:
             # Resources (process pools, shared memory) of a strategy this
             # fit resolved are this fit's to release; an injected strategy
@@ -461,6 +547,14 @@ class DistributedGBDT:
 
         with runner.stage(WorkerPhase.FINISH):
             pass
+
+        if chaos is not None:
+            # Rollback charges land between stages (the aborted stage's
+            # accounting is skipped), so the per-stage accountant misses
+            # them; the clock's per-label total is authoritative.
+            recovery_seconds = clock.by_phase().get(FAULT_RECOVERY_PHASE, 0.0)
+            if recovery_seconds > 0.0:
+                accountant.phases[FAULT_RECOVERY_PHASE] = recovery_seconds
 
         model = GBDTModel(
             trees=trees,
@@ -479,6 +573,9 @@ class DistributedGBDT:
             breakdown=breakdown,
             rounds=rounds,
             phases=accountant.phases,
+            faults=(
+                fault_accountant.report() if fault_accountant is not None else None
+            ),
         )
         hooks.on_fit_end(result)
         return result

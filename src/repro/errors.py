@@ -53,6 +53,16 @@ class PSError(ReproError):
     """
 
 
+class ClusterFaultError(ReproError):
+    """An injected cluster fault exhausted its recovery budget.
+
+    Raised (fast — never a hang) when a fault outlives the bounded
+    retry/rollback machinery: a message that keeps failing past
+    ``max_retries`` delivery retries, or a round that cannot complete
+    within the per-round recovery budget.
+    """
+
+
 class TrainingError(ReproError):
     """Training could not proceed.
 

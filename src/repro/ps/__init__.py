@@ -22,7 +22,7 @@ This package implements the server side:
 from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
 from .group import ParameterServerGroup, TransferStats
-from .master import Master, WorkerPhase
+from .master import Master, WorkerHealth, WorkerPhase
 
 __all__ = [
     "Partition",
@@ -32,5 +32,6 @@ __all__ = [
     "ParameterServerGroup",
     "TransferStats",
     "Master",
+    "WorkerHealth",
     "WorkerPhase",
 ]

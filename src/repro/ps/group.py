@@ -56,14 +56,29 @@ class ParameterServerGroup:
     Args:
         n_servers: Number of shards p.
         partition_salt: Propagated to every parameter's partitioner.
+        fabric: Optional delivery fabric (``chaos.FaultyFabric``).  When
+            set, every per-partition message goes through
+            ``fabric.deliver`` — which may drop, duplicate, delay, or
+            crash it per the active fault plan — and pushes must carry a
+            ``seq`` token so retried deliveries stay idempotent.
     """
 
-    def __init__(self, n_servers: int, partition_salt: int = 0) -> None:
+    def __init__(
+        self, n_servers: int, partition_salt: int = 0, fabric=None
+    ) -> None:
         if n_servers < 1:
             raise PSError(f"n_servers must be >= 1, got {n_servers}")
         self.servers = [PSServer(sid) for sid in range(n_servers)]
         self._partitioners: dict[str, VectorPartitioner] = {}
         self._salt = partition_salt
+        self.fabric = fabric
+
+    def _deliver(self, point, send, *, server, worker, payload_bytes):
+        if self.fabric is None:
+            return send()
+        return self.fabric.deliver(
+            point, send, server=server, worker=worker, payload_bytes=payload_bytes
+        )
 
     @property
     def n_servers(self) -> int:
@@ -117,6 +132,8 @@ class ParameterServerGroup:
         compression_bits: int = 0,
         rng: np.random.Generator | None = None,
         compression_block: int | None = None,
+        seq: object | None = None,
+        worker: int | None = None,
     ) -> TransferStats:
         """Push one row, split by ranges, optionally low-precision.
 
@@ -130,6 +147,12 @@ class ParameterServerGroup:
         values their own scale (e.g. ``n_bins`` so each per-feature
         histogram is scaled independently, the Section 6.1 reading of
         "the maximal absolute value in the histogram").
+
+        ``seq`` is the idempotence token forwarded to
+        :meth:`PSServer.handle_push`; required when a fault fabric is
+        attached (a retried delivery must not double-count), optional —
+        but honored — otherwise.  ``worker`` identifies the pushing
+        worker for fault filtering.
         """
         partitioner = self.partitioner(name)
         flat = np.asarray(flat, dtype=np.float64)
@@ -140,6 +163,11 @@ class ParameterServerGroup:
             )
         if compression_bits and rng is None:
             raise PSError("compression requires an rng for stochastic rounding")
+        if self.fabric is not None and seq is None:
+            raise PSError(
+                "push_row without a seq token while a fault fabric is "
+                "attached: retried pushes would double-count"
+            )
         stats = TransferStats()
         for part in partitioner.partitions:
             piece = flat[part.lo : part.hi]
@@ -147,28 +175,51 @@ class ParameterServerGroup:
                 blocked = compress_blocked(
                     piece, compression_block, compression_bits, rng
                 )
-                stats.bytes_up += blocked.wire_bytes
+                piece_bytes = blocked.wire_bytes
                 piece = decompress_blocked(blocked)
             elif compression_bits:
                 compressed = compress_flat(piece, compression_bits, rng)
-                stats.bytes_up += compressed.wire_bytes
+                piece_bytes = compressed.wire_bytes
                 piece = decompress_flat(compressed)
             else:
-                stats.bytes_up += piece.size * 4
-            self.servers[part.server_id].handle_push(
-                name, row, part.partition_id, piece
+                piece_bytes = piece.size * 4
+            stats.bytes_up += piece_bytes
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part, piece=piece):
+                return server.handle_push(
+                    name, row, part.partition_id, piece, seq=seq
+                )
+
+            self._deliver(
+                "push",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=piece_bytes,
             )
             stats.messages += 1
         return stats
 
-    def pull_row(self, name: str, row: int) -> tuple[np.ndarray, TransferStats]:
+    def pull_row(
+        self, name: str, row: int, worker: int | None = None
+    ) -> tuple[np.ndarray, TransferStats]:
         """Pull a full row, reassembled from all ranges."""
         partitioner = self.partitioner(name)
         flat = np.empty(partitioner.length, dtype=np.float64)
         stats = TransferStats()
         for part in partitioner.partitions:
-            piece = self.servers[part.server_id].handle_pull(
-                name, row, part.partition_id
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part):
+                return server.handle_pull(name, row, part.partition_id)
+
+            piece = self._deliver(
+                "pull",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=(part.length * 4),
             )
             flat[part.lo : part.hi] = piece
             stats.bytes_down += piece.size * 4
@@ -181,6 +232,7 @@ class ParameterServerGroup:
         row: int,
         udf: PullUDF,
         result_bytes: int = 12,
+        worker: int | None = None,
     ) -> tuple[list[tuple[Partition, Any]], TransferStats]:
         """Run ``udf`` on every range of ``row`` server-side.
 
@@ -190,6 +242,7 @@ class ParameterServerGroup:
             result_bytes: Wire size charged per UDF result; the two-phase
                 split reply is "one integer and two floating-point
                 numbers" (Section 6.3), hence the 12-byte default.
+            worker: Requesting worker id (fault filtering).
 
         Returns:
             ([(partition, result), ...] in partition order, stats).
@@ -198,8 +251,17 @@ class ParameterServerGroup:
         results: list[tuple[Partition, Any]] = []
         stats = TransferStats()
         for part in partitioner.partitions:
-            result = self.servers[part.server_id].handle_pull_udf(
-                name, row, part.partition_id, udf
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part):
+                return server.handle_pull_udf(name, row, part.partition_id, udf)
+
+            result = self._deliver(
+                "pull_udf",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=result_bytes,
             )
             results.append((part, result))
             stats.bytes_down += result_bytes

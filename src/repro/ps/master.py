@@ -14,6 +14,7 @@ immediately instead of deadlocking silently.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
 
 from ..errors import TrainingError
@@ -49,6 +50,24 @@ _ALLOWED_NEXT: dict[WorkerPhase, frozenset[WorkerPhase]] = {
 }
 
 
+@dataclass(frozen=True)
+class WorkerHealth:
+    """One worker's entry in the master's health report.
+
+    Attributes:
+        beats: Heartbeats observed (one per barrier entry).
+        alive: False while the worker is marked departed (crashed and
+            not yet rejoined).
+        crashes: Times the worker was marked departed.
+        recoveries: Times the worker rejoined after a departure.
+    """
+
+    beats: int
+    alive: bool = True
+    crashes: int = 0
+    recoveries: int = 0
+
+
 class Master:
     """Phase-lockstep coordinator for ``n_workers`` workers.
 
@@ -63,6 +82,9 @@ class Master:
         self._phase: list[WorkerPhase | None] = [None] * n_workers
         self._barriers_passed = 0
         self._health_beats: list[int] = [0] * n_workers
+        self._departed: set[int] = set()
+        self._crashes: list[int] = [0] * n_workers
+        self._recoveries: list[int] = [0] * n_workers
 
     @property
     def leader_id(self) -> int:
@@ -93,6 +115,11 @@ class Master:
                 ahead of a peer by more than one phase (barrier violation).
         """
         self._check_worker(worker_id)
+        if worker_id in self._departed:
+            raise TrainingError(
+                f"worker {worker_id} is departed (crashed) and cannot enter "
+                f"{phase.value}; it must rejoin first"
+            )
         current = self._phase[worker_id]
         if current is None:
             if phase is not WorkerPhase.CREATE_SKETCH:
@@ -105,11 +132,13 @@ class Master:
                 f"worker {worker_id}: illegal transition "
                 f"{current.value} -> {phase.value}"
             )
-        # Barrier check: every peer must be either still in this worker's
-        # current phase (not yet at the barrier) or already in the target
-        # phase (passed it) — anything else means lockstep was broken.
+        # Barrier check: every live peer must be either still in this
+        # worker's current phase (not yet at the barrier) or already in
+        # the target phase (passed it) — anything else means lockstep was
+        # broken.  Departed workers are excluded: the barrier shrinks to
+        # the surviving membership, as a real master's would.
         for other_id, other in enumerate(self._phase):
-            if other_id == worker_id:
+            if other_id == worker_id or other_id in self._departed:
                 continue
             if other is not current and other is not phase:
                 raise TrainingError(
@@ -119,22 +148,99 @@ class Master:
                 )
         self._phase[worker_id] = phase
         self._health_beats[worker_id] += 1
-        if all(p is phase for p in self._phase):
+        if all(
+            p is phase
+            for wid, p in enumerate(self._phase)
+            if wid not in self._departed
+        ):
             self._barriers_passed += 1
 
     def enter_all(self, phase: WorkerPhase) -> None:
-        """Move every worker through the barrier into ``phase`` in id order.
+        """Move every live worker through the barrier into ``phase`` in id
+        order.
 
         The simulated cluster executes workers sequentially, so a phase
         transition is always "all workers, one after another"; this is
         the single entry point the runtime's phase stages use.
         """
         for worker_id in range(self.n_workers):
-            self.enter_phase(worker_id, phase)
+            if worker_id not in self._departed:
+                self.enter_phase(worker_id, phase)
 
-    def health_report(self) -> dict[int, int]:
-        """Heartbeat counts per worker (the periodic health check)."""
-        return {wid: beats for wid, beats in enumerate(self._health_beats)}
+    # ------------------------------------------------------------------
+    # failure handling (chaos/recovery support)
+    # ------------------------------------------------------------------
+
+    @property
+    def departed(self) -> frozenset[int]:
+        """Ids of workers currently marked departed (crashed)."""
+        return frozenset(self._departed)
+
+    def mark_departed(self, worker_id: int) -> None:
+        """Record that a worker crashed: its heartbeat stopped and the
+        health check removed it from the barrier membership."""
+        self._check_worker(worker_id)
+        if worker_id in self._departed:
+            raise TrainingError(f"worker {worker_id} is already departed")
+        self._departed.add(worker_id)
+        self._crashes[worker_id] += 1
+
+    def rejoin(self, worker_id: int, phase: WorkerPhase) -> None:
+        """Re-admit a departed worker at the barrier where its live peers
+        stand.
+
+        Barrier re-entry is only legal when every live peer currently
+        occupies ``phase`` — the rejoining worker slots into the lockstep
+        instead of breaking it.
+
+        Raises:
+            TrainingError: The worker is not departed, or a live peer is
+                not at ``phase``.
+        """
+        self._check_worker(worker_id)
+        if worker_id not in self._departed:
+            raise TrainingError(
+                f"worker {worker_id} is not departed; cannot rejoin"
+            )
+        for other_id, other in enumerate(self._phase):
+            if other_id == worker_id or other_id in self._departed:
+                continue
+            if other is not phase:
+                raise TrainingError(
+                    f"worker {worker_id} cannot rejoin at {phase.value}: "
+                    f"worker {other_id} is in "
+                    f"{other.value if other else 'None'}"
+                )
+        self._departed.discard(worker_id)
+        self._phase[worker_id] = phase
+        self._recoveries[worker_id] += 1
+        self._health_beats[worker_id] += 1
+
+    def rollback_round(self) -> None:
+        """Reset the phase machine to the round boundary (NEW_TREE) and
+        rejoin every departed worker there.
+
+        This is the master's half of crash recovery: after the trainer
+        restores the last checkpoint, the round is replayed from its
+        NEW_TREE barrier with full membership restored.
+        """
+        for worker_id in range(self.n_workers):
+            if worker_id not in self._departed:
+                self._phase[worker_id] = WorkerPhase.NEW_TREE
+        for worker_id in sorted(self._departed):
+            self.rejoin(worker_id, WorkerPhase.NEW_TREE)
+
+    def health_report(self) -> dict[int, WorkerHealth]:
+        """Per-worker health: heartbeats, liveness, crash/recovery counts."""
+        return {
+            wid: WorkerHealth(
+                beats=self._health_beats[wid],
+                alive=wid not in self._departed,
+                crashes=self._crashes[wid],
+                recoveries=self._recoveries[wid],
+            )
+            for wid in range(self.n_workers)
+        }
 
     def all_finished(self) -> bool:
         """Whether every worker reached FINISH."""

@@ -39,8 +39,12 @@ class PSServer:
         self._hosted: dict[str, list[Partition]] = {}
         # name -> row -> partition_id -> values
         self._rows: dict[str, dict[int, dict[int, np.ndarray]]] = {}
+        # name -> row -> partition_id -> applied sequence tokens; freed
+        # together with the rows they guard.
+        self._applied: dict[str, dict[int, dict[int, set]]] = {}
         self.bytes_received = 0
         self.bytes_sent = 0
+        self.duplicate_pushes = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -53,6 +57,7 @@ class PSServer:
                           f"{self.server_id}")
         self._hosted[name] = list(hosted)
         self._rows[name] = {}
+        self._applied[name] = {}
 
     def _partition(self, name: str, partition_id: int) -> Partition:
         try:
@@ -74,9 +79,24 @@ class PSServer:
     # ------------------------------------------------------------------
 
     def handle_push(
-        self, name: str, row: int, partition_id: int, values: np.ndarray
+        self,
+        name: str,
+        row: int,
+        partition_id: int,
+        values: np.ndarray,
+        seq: object | None = None,
     ) -> None:
-        """Apply the default additive push to one hosted range of ``row``."""
+        """Apply the default additive push to one hosted range of ``row``.
+
+        ``seq`` makes the push idempotent: a hashable token identifying
+        the logical message (the engine uses ``(tree_index, worker_id)``
+        — one push per worker per round per row range).  A second push
+        carrying an already-applied token is counted, billed for its
+        wire bytes, and otherwise ignored, so delivery retries and
+        injected duplicates never double-count a histogram.  Tokens are
+        freed with the rows they guard (``clear_row`` /
+        ``clear_parameter``), which is what scopes them "per round".
+        """
         part = self._partition(name, partition_id)
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (part.length,):
@@ -84,13 +104,21 @@ class PSServer:
                 f"push to {name!r} partition {partition_id}: expected "
                 f"{part.length} values, got {values.shape}"
             )
+        self.bytes_received += values.size * 4
+        if seq is not None:
+            applied = self._applied[name].setdefault(row, {}).setdefault(
+                partition_id, set()
+            )
+            if seq in applied:
+                self.duplicate_pushes += 1
+                return
+            applied.add(seq)
         rows = self._rows[name].setdefault(row, {})
         stored = rows.get(partition_id)
         if stored is None:
             rows[partition_id] = values.copy()
         else:
             stored += values
-        self.bytes_received += values.size * 4
 
     def handle_pull(self, name: str, row: int, partition_id: int) -> np.ndarray:
         """Return the stored values of one hosted range of ``row``."""
@@ -127,6 +155,7 @@ class PSServer:
                 f"parameter {name!r} not registered on server {self.server_id}"
             )
         self._rows[name].pop(row, None)
+        self._applied[name].pop(row, None)
 
     def clear_parameter(self, name: str) -> None:
         """Free all rows of a parameter (e.g. between trees)."""
@@ -135,6 +164,7 @@ class PSServer:
                 f"parameter {name!r} not registered on server {self.server_id}"
             )
         self._rows[name] = {}
+        self._applied[name] = {}
 
     def stored_rows(self, name: str) -> list[int]:
         """Row ids currently materialized for ``name`` (sorted)."""

@@ -33,6 +33,7 @@ from ..ps.master import WorkerPhase
 __all__ = [
     "TrainerCallback",
     "CallbackList",
+    "FaultAccountant",
     "HistoryCollector",
     "PhaseAccountant",
     "RecordingCallback",
@@ -183,6 +184,49 @@ class PhaseAccountant(TrainerCallback):
     ) -> None:
         for label, seconds in charges.items():
             self.phases[label] = self.phases.get(label, 0.0) + seconds
+
+
+class FaultAccountant(TrainerCallback):
+    """Per-round accounting of injected faults and their recoveries.
+
+    Observes any ``source`` exposing a live ``counters`` mapping (the
+    chaos package's ``FaultInjector`` / ``ChaosRuntime`` — duck-typed so
+    the runtime does not import chaos).  On every completed round it
+    diffs the counters and attributes the delta to that round; faults
+    injected during an aborted round attempt are attributed to the round
+    whose completion finally absorbed them.  A round completed twice
+    (rollback-replay) accumulates across its attempts.
+    """
+
+    def __init__(self, source) -> None:
+        self.source = source
+        self.per_round: dict[int, dict[str, int]] = {}
+        self._seen: dict[str, int] = dict(source.counters)
+
+    def on_tree_end(self, tree_index: int, record: object) -> None:
+        current = dict(self.source.counters)
+        delta = {
+            key: current[key] - self._seen.get(key, 0)
+            for key in current
+            if current[key] - self._seen.get(key, 0)
+        }
+        self._seen = current
+        if delta:
+            bucket = self.per_round.setdefault(tree_index, {})
+            for key, count in delta.items():
+                bucket[key] = bucket.get(key, 0) + count
+
+    @property
+    def totals(self) -> dict[str, int]:
+        """Whole-run counter totals (injected, retried, recovered, ...)."""
+        return {key: count for key, count in self.source.counters.items() if count}
+
+    def report(self) -> dict:
+        """``{"per_round": {round: {counter: n}}, "totals": {counter: n}}``."""
+        return {
+            "per_round": {t: dict(c) for t, c in sorted(self.per_round.items())},
+            "totals": self.totals,
+        }
 
 
 class RecordingCallback(TrainerCallback):

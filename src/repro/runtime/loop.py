@@ -104,6 +104,11 @@ class BoostingLoop:
         callbacks: Hook spine receiving ``on_tree_end`` per round.
         rng_stream: Label of the feature-sampling RNG stream (the
             multiclass trainer historically uses its own stream).
+        recovery: Optional crash-recovery driver (duck-typed to
+            ``chaos.RoundRecovery``): ``recoverable`` exception types,
+            ``begin_round(t)``, ``checkpoint(completed, units)``, and
+            ``recover(t, fault, units) -> resume_round``.  With no
+            recovery the loop is the plain happy-path cycle.
     """
 
     def __init__(
@@ -112,30 +117,55 @@ class BoostingLoop:
         config: TrainConfig,
         callbacks: CallbackList | None = None,
         rng_stream: str = "feature_sampling",
+        recovery=None,
     ) -> None:
         self.strategy = strategy
         self.config = config
         self.callbacks = callbacks if callbacks is not None else CallbackList()
         self.rng_stream = rng_stream
+        self.recovery = recovery
+
+    def _round(self, t: int, grown_units: list) -> bool:
+        """One boosting round; returns whether the strategy wants to stop."""
+        strategy = self.strategy
+        strategy.begin_tree(t)
+        gradients = strategy.compute_gradients(t)
+        mask = sample_features(
+            strategy.n_features,
+            self.config.feature_sample_ratio,
+            spawn_rng(self.config.seed, self.rng_stream, t),
+        )
+        grown = strategy.grow(t, gradients, mask)
+        grown_units.append(grown)
+        strategy.update_scores(t, grown)
+        record = strategy.finish_round(t, grown)
+        self.callbacks.on_tree_end(t, record)
+        return strategy.should_stop(t)
 
     def run(self) -> list:
-        """Run the boosting rounds; returns the finalized grown units."""
-        config = self.config
-        strategy = self.strategy
+        """Run the boosting rounds; returns the finalized grown units.
+
+        Every round is stateless given the scores at its entry (all RNG
+        streams are spawned per ``(seed, stream, t)``), which is what
+        makes crash recovery a rewind: on a recoverable fault the
+        recovery driver restores its last checkpoint and the loop simply
+        re-runs from the returned round, bit-identically.
+        """
         grown_units: list = []
-        for t in range(config.n_trees):
-            strategy.begin_tree(t)
-            gradients = strategy.compute_gradients(t)
-            mask = sample_features(
-                strategy.n_features,
-                config.feature_sample_ratio,
-                spawn_rng(config.seed, self.rng_stream, t),
-            )
-            grown = strategy.grow(t, gradients, mask)
-            grown_units.append(grown)
-            strategy.update_scores(t, grown)
-            record = strategy.finish_round(t, grown)
-            self.callbacks.on_tree_end(t, record)
-            if strategy.should_stop(t):
+        recovery = self.recovery
+        t = 0
+        while t < self.config.n_trees:
+            if recovery is not None:
+                recovery.begin_round(t)
+                try:
+                    stop = self._round(t, grown_units)
+                except recovery.recoverable as fault:
+                    t = recovery.recover(t, fault, grown_units)
+                    continue
+                recovery.checkpoint(t + 1, grown_units)
+            else:
+                stop = self._round(t, grown_units)
+            if stop:
                 break
-        return strategy.finalize(grown_units)
+            t += 1
+        return self.strategy.finalize(grown_units)

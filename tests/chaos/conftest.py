@@ -1,0 +1,88 @@
+"""Shared chaos-suite helpers: tiny cluster runs and model hashing.
+
+Every scenario here compares a faulted run against a fault-free run of
+the *same* configuration, so the bit-identity assertions hold per
+backend (the process pool's chunked merge may drift a few ULPs from the
+sequential kernel, but it is deterministic against itself).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import ClusterConfig, TrainConfig
+from repro.distributed.engine import DistributedGBDT, DistributedResult
+
+#: The cluster shape every chaos scenario runs on.
+CLUSTER = ClusterConfig(n_workers=3, n_servers=2)
+
+#: Histogram-build backends the scenarios are swept over; ``process``
+#: exercises the shared-memory pool (PR 2) under injected faults.
+BACKENDS = ("simulated", "process")
+
+
+def chaos_config(**overrides) -> TrainConfig:
+    """The suite's quick-training config (3 small uncompressed trees)."""
+    base = dict(
+        n_trees=3,
+        max_depth=4,
+        n_split_candidates=8,
+        learning_rate=0.3,
+        compression_bits=0,
+    )
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def backend_config(backend: str, **overrides) -> TrainConfig:
+    """``chaos_config`` tuned so the named backend actually engages."""
+    if backend == "process":
+        overrides.setdefault("parallel_backend", "process")
+        overrides.setdefault("n_processes", 2)
+        # Small enough that a 300-row node fans out to the pool.
+        overrides.setdefault("batch_size", 32)
+    return chaos_config(**overrides)
+
+
+def run(
+    dataset,
+    *,
+    system: str = "dimboost",
+    config: TrainConfig | None = None,
+    fault_plan=None,
+    **trainer_kwargs,
+) -> DistributedResult:
+    """Train once on the suite's cluster and return the result."""
+    trainer = DistributedGBDT(
+        system,
+        CLUSTER,
+        config if config is not None else chaos_config(),
+        fault_plan=fault_plan,
+        **trainer_kwargs,
+    )
+    return trainer.fit(dataset)
+
+
+def model_hash(result: DistributedResult) -> str:
+    """Canonical digest of the trained ensemble (bit-identity oracle)."""
+    payload = json.dumps(result.model.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.fixture(scope="session")
+def baseline():
+    """Memoized fault-free reference runs, keyed by (system, backend)."""
+    cache: dict[tuple[str, str], DistributedResult] = {}
+
+    def get(dataset, system: str = "dimboost", backend: str = "simulated"):
+        key = (system, backend)
+        if key not in cache:
+            cache[key] = run(
+                dataset, system=system, config=backend_config(backend)
+            )
+        return cache[key]
+
+    return get

@@ -1,0 +1,102 @@
+"""Property-based sweep over random fault plans.
+
+The property: any :meth:`FaultPlan.random` plan whose failure budget
+stays below the training run's retry budget never raises, and the
+recovered run's model and convergence telemetry match the clean run
+exactly.  Plans *above* the budget must surface a typed
+:class:`ClusterFaultError` quickly — fail fast, never a hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.errors import ClusterFaultError
+
+from tests.chaos.conftest import CLUSTER, chaos_config, model_hash, run
+
+#: Random-plan budget: failing kinds use at most this many attempts.
+MAX_FAIL_ATTEMPTS = 2
+
+
+@pytest.fixture(scope="module")
+def clean(tiny_dataset):
+    """The fault-free reference run for the whole sweep."""
+    return run(tiny_dataset)
+
+
+class TestBelowBudget:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_plan_recovers_and_matches_clean_run(
+        self, tiny_dataset, clean, seed
+    ):
+        plan = FaultPlan.random(
+            seed,
+            n_workers=CLUSTER.n_workers,
+            n_servers=CLUSTER.n_servers,
+            n_rounds=chaos_config().n_trees,
+            max_fail_attempts=MAX_FAIL_ATTEMPTS,
+        )
+        config = chaos_config(max_retries=MAX_FAIL_ATTEMPTS + 1)
+        result = run(tiny_dataset, config=config, fault_plan=plan)
+        assert model_hash(result) == model_hash(clean)
+        # Convergence telemetry (per-round losses) matches exactly too:
+        # replays and retries leave no trace in what the model learned.
+        assert [r.train_loss for r in result.rounds] == [
+            r.train_loss for r in clean.rounds
+        ]
+        assert [r.train_error for r in result.rounds] == [
+            r.train_error for r in clean.rounds
+        ]
+
+
+class TestAboveBudget:
+    def test_drop_past_budget_is_a_fast_typed_error(self, tiny_dataset):
+        plan = FaultPlan(
+            events=(FaultEvent(kind="drop", point="push", attempts=5),),
+            name="drop-past-budget",
+        )
+        config = chaos_config(max_retries=2)
+        started = time.perf_counter()
+        with pytest.raises(ClusterFaultError, match="message loss"):
+            run(tiny_dataset, config=config, fault_plan=plan)
+        # Fail fast, never a hang: no retry grinding, no infinite replay.
+        assert time.perf_counter() - started < 30.0
+
+    def test_server_outage_past_budget(self, tiny_dataset):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="server_down", point="pull_udf", server=0, attempts=4
+                ),
+            ),
+            name="outage-past-budget",
+        )
+        config = chaos_config(max_retries=3)
+        with pytest.raises(ClusterFaultError, match="server unavailable"):
+            run(tiny_dataset, config=config, fault_plan=plan)
+
+    def test_recurring_crash_exhausts_rollback_budget(self, tiny_dataset):
+        # times=None re-arms the crash on every replay of round 0, so the
+        # rollback loop can never get past it; the recovery driver must
+        # give up after max_retries rollbacks with a typed error.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="crash",
+                    point="histogram_build",
+                    worker=1,
+                    round_=0,
+                    times=None,
+                ),
+            ),
+            name="crash-loop",
+        )
+        config = chaos_config(max_retries=2)
+        started = time.perf_counter()
+        with pytest.raises(ClusterFaultError, match="recovery budget"):
+            run(tiny_dataset, config=config, fault_plan=plan)
+        assert time.perf_counter() - started < 30.0

@@ -1,0 +1,109 @@
+"""PR 2's error paths under injected faults: no shared memory leaks.
+
+The process-parallel build strategy owns POSIX shared-memory segments
+(``/dev/shm/repro_shm_*``) and a fork pool.  Injected crashes abort
+stages mid-flight and over-budget faults escape ``fit`` entirely — both
+paths must still unlink every segment.  Pool breakage
+(``BrokenProcessPool``) must warn, fall back to the sequential kernel,
+and finish training correctly even while faults are being injected.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.errors import ClusterFaultError
+from repro.histogram.shared import SHM_PREFIX
+from repro.runtime.build import ProcessParallelBuildStrategy
+
+from tests.chaos.conftest import backend_config, model_hash, run
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+def faulty_plan() -> FaultPlan:
+    """A crash (rollback-replay) plus sustained drops (retries)."""
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="crash", point="histogram_build", worker=1, round_=1
+            ),
+            FaultEvent(kind="drop", point="push", every=2, times=4),
+        ),
+        name="process-backend-faults",
+    )
+
+
+class TestSegmentLifetime:
+    def test_faulted_fit_releases_all_segments(self, tiny_dataset, baseline):
+        before = set(leaked_segments())
+        result = run(
+            tiny_dataset,
+            config=backend_config("process"),
+            fault_plan=faulty_plan(),
+        )
+        assert set(leaked_segments()) == before
+        # The crash rolled a round back while the pool was live; the
+        # recovered model still matches the fault-free process-pool run.
+        reference = baseline(tiny_dataset, backend="process")
+        assert model_hash(result) == model_hash(reference)
+        assert result.faults["totals"]["crashes"] == 1
+
+    def test_escaping_fault_still_releases_segments(self, tiny_dataset):
+        """``ClusterFaultError`` escaping ``fit`` must not leak the slab."""
+        before = set(leaked_segments())
+        plan = FaultPlan(
+            events=(FaultEvent(kind="drop", point="push", attempts=9),),
+            name="over-budget",
+        )
+        with pytest.raises(ClusterFaultError):
+            run(
+                tiny_dataset,
+                config=backend_config("process", max_retries=2),
+                fault_plan=plan,
+            )
+        assert set(leaked_segments()) == before
+
+
+class _BreakingExecutor:
+    """Stand-in executor whose submissions always report a dead pool."""
+
+    def submit(self, *args, **kwargs):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("worker died")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestPoolBreakage:
+    def test_broken_pool_falls_back_and_trains_through_faults(
+        self, tiny_dataset, baseline
+    ):
+        before = set(leaked_segments())
+        strategy = ProcessParallelBuildStrategy(batch_size=32, n_processes=2)
+        strategy._executor = _BreakingExecutor()
+        try:
+            with pytest.warns(RuntimeWarning, match="process pool broke"):
+                result = run(
+                    tiny_dataset,
+                    config=backend_config("process"),
+                    fault_plan=faulty_plan(),
+                    build_strategy=strategy,
+                )
+        finally:
+            strategy.close()
+        assert strategy.fallback_reason == "process pool broke"
+        assert set(leaked_segments()) == before
+        # The sequential fallback runs the exact sequential kernel, so
+        # the model matches the simulated-backend baseline bit for bit.
+        reference = baseline(tiny_dataset, backend="simulated")
+        assert model_hash(result) == model_hash(reference)
+        assert result.faults["totals"]["crashes"] == 1
+        assert result.faults["totals"]["drops"] == 4

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import TrainingError
-from repro.ps import Master, WorkerPhase
+from repro.ps import Master, WorkerHealth, WorkerPhase
 
 
 def advance_all(master: Master, phase: WorkerPhase) -> None:
@@ -89,7 +89,116 @@ class TestBarrier:
         master = Master(2)
         advance_all(master, WorkerPhase.CREATE_SKETCH)
         report = master.health_report()
-        assert report == {0: 1, 1: 1}
+        assert report == {
+            0: WorkerHealth(beats=1),
+            1: WorkerHealth(beats=1),
+        }
+        assert all(h.alive for h in report.values())
+
+
+def advance_to_round(master: Master) -> None:
+    """Bring every worker to the NEW_TREE barrier (round boundary)."""
+    advance_all(master, WorkerPhase.CREATE_SKETCH)
+    advance_all(master, WorkerPhase.PULL_SKETCH)
+    advance_all(master, WorkerPhase.NEW_TREE)
+
+
+class TestDeparture:
+    def test_departed_worker_cannot_enter(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.mark_departed(1)
+        with pytest.raises(TrainingError, match="departed"):
+            master.enter_phase(1, WorkerPhase.BUILD_HISTOGRAM)
+
+    def test_barrier_shrinks_to_survivors(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.mark_departed(1)
+        # Workers 0 and 2 proceed without worker 1 breaking lockstep.
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(2, WorkerPhase.BUILD_HISTOGRAM)
+        assert master.phase_of(0) is WorkerPhase.BUILD_HISTOGRAM
+
+    def test_enter_all_skips_departed(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.mark_departed(2)
+        before = master.barriers_passed
+        master.enter_all(WorkerPhase.BUILD_HISTOGRAM)
+        assert master.phase_of(2) is WorkerPhase.NEW_TREE  # untouched
+        assert master.barriers_passed == before + 1  # live-only barrier
+
+    def test_double_departure_rejected(self):
+        master = Master(2)
+        advance_to_round(master)
+        master.mark_departed(0)
+        with pytest.raises(TrainingError, match="already departed"):
+            master.mark_departed(0)
+
+    def test_health_report_reflects_crash_and_recovery(self):
+        master = Master(2)
+        advance_to_round(master)
+        master.mark_departed(1)
+        report = master.health_report()
+        assert not report[1].alive
+        assert report[1].crashes == 1
+        assert report[0].alive
+        master.rollback_round()
+        report = master.health_report()
+        assert report[1].alive
+        assert report[1].recoveries == 1
+        assert report[1].crashes == 1
+
+
+class TestBarrierReentry:
+    """Ordering rules of rejoin: a departed worker re-enters the barrier
+    only where its live peers currently stand."""
+
+    def test_rejoin_requires_departure(self):
+        master = Master(2)
+        advance_to_round(master)
+        with pytest.raises(TrainingError, match="not departed"):
+            master.rejoin(0, WorkerPhase.NEW_TREE)
+
+    def test_rejoin_at_wrong_phase_rejected(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.mark_departed(1)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(2, WorkerPhase.BUILD_HISTOGRAM)
+        # Peers stand at BUILD_HISTOGRAM; rejoining at NEW_TREE would put
+        # the worker a phase behind the barrier.
+        with pytest.raises(TrainingError, match="cannot rejoin"):
+            master.rejoin(1, WorkerPhase.NEW_TREE)
+
+    def test_rejoin_at_peer_phase_restores_lockstep(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.mark_departed(1)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(2, WorkerPhase.BUILD_HISTOGRAM)
+        master.rejoin(1, WorkerPhase.BUILD_HISTOGRAM)
+        assert master.departed == frozenset()
+        # Full-membership lockstep resumes: all three enter FIND_SPLIT.
+        master.enter_all(WorkerPhase.FIND_SPLIT)
+        assert all(
+            master.phase_of(wid) is WorkerPhase.FIND_SPLIT for wid in range(3)
+        )
+
+    def test_rollback_round_rejoins_everyone_at_new_tree(self):
+        master = Master(3)
+        advance_to_round(master)
+        master.enter_all(WorkerPhase.BUILD_HISTOGRAM)
+        master.mark_departed(2)
+        master.rollback_round()
+        assert master.departed == frozenset()
+        assert all(
+            master.phase_of(wid) is WorkerPhase.NEW_TREE for wid in range(3)
+        )
+        # The replayed round proceeds through the normal transitions.
+        master.enter_all(WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_all(WorkerPhase.FIND_SPLIT)
 
 
 class TestValidation:
