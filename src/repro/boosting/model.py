@@ -3,6 +3,13 @@
 Equation (1): ``yhat_i = sum_t eta * f_t(x_i)`` — the shrinkage ``eta``
 is already folded into each tree's leaf weights at training time, so
 prediction is the base score plus the plain sum of tree outputs.
+
+Prediction runs on the compiled flat ensemble
+(:class:`~repro.inference.flat.FlatEnsemble`): the trees are stacked
+into contiguous struct-of-arrays once (lazily, cached on the model) and
+scored in row blocks across all trees simultaneously.  The tree-at-a-
+time loop survives as :meth:`GBDTModel.predict_raw_per_tree`, the
+reference oracle the compiled path is asserted bit-identical against.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import numpy as np
 
 from ..datasets.sparse import CSRMatrix
 from ..errors import DataError, NotFittedError
+from ..inference.flat import FlatEnsemble
 from .losses import get_loss
 from ..tree.tree import RegressionTree
 
@@ -42,6 +50,7 @@ class GBDTModel:
         self.loss_name = loss_name
         self.n_features = int(n_features)
         self._loss = get_loss(loss_name)
+        self._flat: "FlatEnsemble | None" = None
 
     @property
     def n_trees(self) -> int:
@@ -56,8 +65,51 @@ class GBDTModel:
     # prediction
     # ------------------------------------------------------------------
 
-    def predict_raw(self, X: CSRMatrix, n_trees: int | None = None) -> np.ndarray:
-        """Raw margin scores, optionally truncated to the first trees."""
+    def compiled(self) -> "FlatEnsemble":
+        """The flat struct-of-arrays form of this ensemble, compiled once.
+
+        Cached on the model; recompiled if the tree count changes (e.g.
+        trees appended after a first predict).  Mutating a tree's arrays
+        *in place* after compiling is not supported.
+        """
+        self._check_fitted()
+        flat = self._flat
+        if flat is None or flat.n_trees != len(self.trees):
+            flat = FlatEnsemble(self.trees, self.n_features)
+            self._flat = flat
+        return flat
+
+    def predict_raw(
+        self,
+        X: CSRMatrix,
+        n_trees: int | None = None,
+        batch_rows: int | None = None,
+        n_processes: int = 1,
+    ) -> np.ndarray:
+        """Raw margin scores, optionally truncated to the first trees.
+
+        Scores on the compiled flat ensemble — bit-identical to
+        :meth:`predict_raw_per_tree` for every ``batch_rows`` /
+        ``n_processes`` setting.
+        """
+        self._check_fitted()
+        if X.n_cols > self.n_features:
+            raise DataError(
+                f"input has {X.n_cols} features, model was trained on "
+                f"{self.n_features}"
+            )
+        return self.compiled().predict_raw(
+            X,
+            base_score=self.base_score,
+            n_trees=n_trees,
+            batch_rows=batch_rows,
+            n_processes=n_processes,
+        )
+
+    def predict_raw_per_tree(
+        self, X: CSRMatrix, n_trees: int | None = None
+    ) -> np.ndarray:
+        """Reference oracle: the original tree-at-a-time scoring loop."""
         self._check_fitted()
         if X.n_cols > self.n_features:
             raise DataError(
@@ -70,15 +122,29 @@ class GBDTModel:
             raw += tree.predict(X)
         return raw
 
-    def predict(self, X: CSRMatrix) -> np.ndarray:
+    def predict(
+        self,
+        X: CSRMatrix,
+        batch_rows: int | None = None,
+        n_processes: int = 1,
+    ) -> np.ndarray:
         """Transformed predictions: probabilities (logistic) or values."""
-        return self._loss.transform(self.predict_raw(X))
+        return self._loss.transform(
+            self.predict_raw(X, batch_rows=batch_rows, n_processes=n_processes)
+        )
 
-    def predict_labels(self, X: CSRMatrix, threshold: float = 0.5) -> np.ndarray:
+    def predict_labels(
+        self,
+        X: CSRMatrix,
+        threshold: float = 0.5,
+        batch_rows: int | None = None,
+        n_processes: int = 1,
+    ) -> np.ndarray:
         """Hard 0/1 labels for classification models."""
         if self.loss_name != "logistic":
             raise DataError("predict_labels requires a logistic-loss model")
-        return (self.predict(X) >= threshold).astype(np.float32)
+        scores = self.predict(X, batch_rows=batch_rows, n_processes=n_processes)
+        return (scores >= threshold).astype(np.float32)
 
     # ------------------------------------------------------------------
     # serialization

@@ -26,6 +26,7 @@ from ..datasets.dataset import Dataset
 from ..datasets.sparse import CSRMatrix
 from ..errors import DataError, NotFittedError, TrainingError
 from ..histogram.binned import BinnedShard
+from ..inference.flat import FlatEnsemble
 from ..ps.master import WorkerPhase
 from ..runtime.hooks import CallbackList, HistoryCollector, TrainerCallback
 from ..runtime.loop import BoostingLoop, TreeGrowthStrategy
@@ -106,6 +107,7 @@ class MulticlassModel:
         self.tree_groups = [list(group) for group in tree_groups]
         self.base_scores = np.asarray(base_scores, dtype=np.float64)
         self.n_features = int(n_features)
+        self._flat: FlatEnsemble | None = None
         for group in self.tree_groups:
             if len(group) != self.n_classes:
                 raise DataError(
@@ -123,8 +125,38 @@ class MulticlassModel:
         """Boosting rounds T."""
         return len(self.tree_groups)
 
-    def predict_raw(self, X: CSRMatrix) -> np.ndarray:
-        """Per-class margins, shape (n_rows, n_classes)."""
+    def compiled(self) -> FlatEnsemble:
+        """All K * T trees compiled round-major into one flat ensemble.
+
+        Cached; recompiled if the round count changes.  One compiled
+        traversal scores every class ensemble in a single pass.
+        """
+        if not self.tree_groups:
+            raise NotFittedError("model has no trees")
+        flat = self._flat
+        expected = self.n_rounds * self.n_classes
+        if flat is None or flat.n_trees != expected:
+            trees = [tree for group in self.tree_groups for tree in group]
+            flat = FlatEnsemble(trees, self.n_features)
+            self._flat = flat
+        return flat
+
+    def predict_raw(
+        self, X: CSRMatrix, batch_rows: int | None = None
+    ) -> np.ndarray:
+        """Per-class margins, shape (n_rows, n_classes).
+
+        All K class ensembles are scored in one compiled traversal —
+        bit-identical to :meth:`predict_raw_per_tree`.
+        """
+        if not self.tree_groups:
+            raise NotFittedError("model has no trees")
+        return self.compiled().predict_raw_classes(
+            X, self.base_scores, self.n_classes, batch_rows=batch_rows
+        )
+
+    def predict_raw_per_tree(self, X: CSRMatrix) -> np.ndarray:
+        """Reference oracle: the original group-by-group scoring loop."""
         if not self.tree_groups:
             raise NotFittedError("model has no trees")
         raw = np.tile(self.base_scores, (X.n_rows, 1))

@@ -70,6 +70,21 @@ class _ProgressCallback(TrainerCallback):
         )
 
 
+def _add_inference_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-rows",
+        type=int,
+        default=None,
+        help="rows per scoring block (default: cache-sized)",
+    )
+    parser.add_argument(
+        "--n-processes",
+        type=int,
+        default=1,
+        help="worker processes for scoring (1 = serial)",
+    )
+
+
 def _add_train_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trees", type=int, default=20, help="boosting rounds T")
     parser.add_argument("--depth", type=int, default=6, help="maximal tree depth d")
@@ -181,7 +196,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_predict(args: argparse.Namespace) -> int:
     model = GBDTModel.load(args.model)
     data = load_libsvm(args.data, n_features=model.n_features)
-    predictions = model.predict(data.X)
+    predictions = model.predict(
+        data.X, batch_rows=args.batch_rows, n_processes=args.n_processes
+    )
     if args.out:
         np.savetxt(args.out, predictions, fmt="%.6g")
         print(f"wrote {len(predictions)} predictions to {args.out}")
@@ -194,7 +211,9 @@ def cmd_predict(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     model = GBDTModel.load(args.model)
     data = load_libsvm(args.data, n_features=model.n_features)
-    predictions = model.predict(data.X)
+    predictions = model.predict(
+        data.X, batch_rows=args.batch_rows, n_processes=args.n_processes
+    )
     if model.loss_name == "logistic":
         print(f"error rate: {error_rate(data.y, predictions):.4f}")
         print(f"accuracy:   {accuracy(data.y, predictions):.4f}")
@@ -294,11 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("model")
     predict.add_argument("data")
     predict.add_argument("--out", default=None)
+    _add_inference_options(predict)
     predict.set_defaults(func=cmd_predict)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a model on a file")
     evaluate.add_argument("model")
     evaluate.add_argument("data")
+    _add_inference_options(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     compare = sub.add_parser(

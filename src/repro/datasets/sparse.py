@@ -31,7 +31,7 @@ class CSRMatrix:
     :meth:`from_rows` / :meth:`from_dense`.
     """
 
-    __slots__ = ("indptr", "indices", "data", "n_rows", "n_cols")
+    __slots__ = ("indptr", "indices", "data", "n_rows", "n_cols", "_csc")
 
     def __init__(
         self,
@@ -44,6 +44,7 @@ class CSRMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=np.int32)
         self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.n_rows, self.n_cols = int(shape[0]), int(shape[1])
+        self._csc: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -227,19 +228,55 @@ class CSRMatrix:
         return out
 
     def to_csc(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Column-major view: (col_indptr, row_indices, values).
+        """Column-major view: (col_indptr, row_indices, values), memoized.
 
         Column ``c`` owns ``row_indices[col_indptr[c]:col_indptr[c+1]]``
         and the parallel ``values`` — the layout tree prediction uses for
-        fast per-feature access.
+        fast per-feature access.  Row indices are ascending within each
+        column (the stable lexsort preserves CSR row order).
+
+        The matrix is immutable, so the conversion is computed once and
+        cached: every subsequent call returns the *same* arrays.  There
+        is deliberately no invalidation path — nothing may mutate
+        ``indptr``/``indices``/``data`` after construction, and the
+        returned arrays are marked read-only so a caller scribbling on
+        the shared view fails loudly instead of corrupting every other
+        caller's picture of the matrix.
         """
-        order = np.lexsort((self.indices,))
-        row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
-        sorted_cols = self.indices[order]
-        col_indptr = np.searchsorted(sorted_cols, np.arange(self.n_cols + 1)).astype(
-            np.int64
-        )
-        return col_indptr, row_of[order], self.data[order]
+        if self._csc is None:
+            order = np.lexsort((self.indices,))
+            row_of = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), self.row_nnz()
+            )
+            sorted_cols = self.indices[order]
+            col_indptr = np.searchsorted(
+                sorted_cols, np.arange(self.n_cols + 1)
+            ).astype(np.int64)
+            row_indices = row_of[order]
+            values = self.data[order]
+            for array in (col_indptr, row_indices, values):
+                array.flags.writeable = False
+            self._csc = (col_indptr, row_indices, values)
+        return self._csc
+
+    # ------------------------------------------------------------------
+    # pickling (the CSC cache is derived state and never shipped)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "data": self.data,
+            "shape": self.shape,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.indptr = state["indptr"]
+        self.indices = state["indices"]
+        self.data = state["data"]
+        self.n_rows, self.n_cols = state["shape"]
+        self._csc = None
 
     # ------------------------------------------------------------------
     # linear algebra (for PCA, Table 6)

@@ -546,7 +546,17 @@ class DistributedGBDT:
                 build_strategy.close()
 
         with runner.stage(WorkerPhase.FINISH):
-            pass
+            # FINISH assembles the deliverable: the model object plus its
+            # compiled flat form, so downstream evaluation (cmd_compare,
+            # tests) scores on the batched inference path immediately.
+            model = GBDTModel(
+                trees=trees,
+                base_score=base,
+                loss_name=config.loss,
+                n_features=train.n_features,
+            )
+            if trees:
+                model.compiled()
 
         if chaos is not None:
             # Rollback charges land between stages (the aborted stage's
@@ -555,13 +565,6 @@ class DistributedGBDT:
             recovery_seconds = clock.by_phase().get(FAULT_RECOVERY_PHASE, 0.0)
             if recovery_seconds > 0.0:
                 accountant.phases[FAULT_RECOVERY_PHASE] = recovery_seconds
-
-        model = GBDTModel(
-            trees=trees,
-            base_score=base,
-            loss_name=config.loss,
-            n_features=train.n_features,
-        )
         breakdown = TimeBreakdown(
             loading=loading,
             computation=clock.computation,

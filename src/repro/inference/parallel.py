@@ -1,0 +1,372 @@
+"""Process-parallel flat-ensemble scoring over shared memory.
+
+The numpy kernels in :mod:`repro.inference.flat` hold the GIL, so real
+multicore prediction needs worker *processes* — the same conclusion
+PR 2 reached for histogram builds, and the same machinery: the compiled
+ensemble's struct-of-arrays, the input matrix's CSR arrays, and one
+float64 output vector are placed in :mod:`multiprocessing.shared_memory`
+segments (the ``repro_shm_*`` prefix the leak tests scan for).  Worker
+processes attach the segments once (cached by token), score a disjoint
+row span directly into the shared output, and pickle back only the
+measured seconds.
+
+Rows are scored independently, so any span chunking produces bit-
+identical output to the serial path — asserted by the tests and
+``benchmarks/bench_ext_inference.py``.
+
+Like :class:`~repro.runtime.build.ProcessParallelBuildStrategy`, the
+scorer degrades gracefully to the serial path: per call when the input
+is too small to be worth the fan-out, and permanently (with a warning)
+when pools are unusable — no ``fork`` start method, shared memory
+unavailable, or a broken pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import uuid
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..datasets.sparse import CSRMatrix
+from ..errors import DataError
+from ..histogram.shared import SHM_PREFIX, _attach
+from .flat import FlatEnsemble
+
+__all__ = ["ParallelScorer", "SharedScoreContext", "score_span"]
+
+#: Arrays of the compiled ensemble mirrored into shared memory — the
+#: exact set the scoring kernel touches (``leaf_origin`` and raw feature
+#: ids stay behind; workers only score).
+_ENSEMBLE_FIELDS = (
+    "slot_col",
+    "split_value",
+    "weight",
+    "tree_offset",
+    "col_of_feature",
+)
+
+#: CSR arrays of the input matrix mirrored into shared memory.
+_MATRIX_FIELDS = ("indptr", "indices", "data")
+
+
+class SharedScoreContext:
+    """One (ensemble, matrix) pair plus the output vector in shared memory.
+
+    The creating process owns the segments — :meth:`close` unlinks them
+    (idempotent, also run by ``__del__``); workers attach without
+    resource-tracker ownership via the same :func:`_attach` the
+    histogram pool uses, so a worker exiting never unlinks a segment the
+    parent still needs.
+    """
+
+    def __init__(self, ensemble: FlatEnsemble, X: CSRMatrix) -> None:
+        self.token = SHM_PREFIX + uuid.uuid4().hex[:16]
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        self.manifest: dict = {
+            "token": self.token,
+            "n_rows": X.n_rows,
+            "n_cols": X.n_cols,
+            "n_trees": ensemble.n_trees,
+            "n_features": ensemble.n_features,
+            "max_depth": ensemble.max_depth,
+            "n_used": ensemble.n_used,
+            "arrays": {},
+        }
+        try:
+            for name in _ENSEMBLE_FIELDS:
+                self._add(f"ens_{name}", getattr(ensemble, name))
+            for name in _MATRIX_FIELDS:
+                self._add(f"mat_{name}", getattr(X, name))
+            self._add("out", np.zeros(max(1, X.n_rows), dtype=np.float64))
+        except BaseException:
+            self.close()
+            raise
+        self.out = self._out_array
+
+    def _add(self, name: str, source: np.ndarray) -> None:
+        source = np.ascontiguousarray(source)
+        segment_name = f"{self.token}_{name}"
+        shm = shared_memory.SharedMemory(
+            name=segment_name, create=True, size=max(1, source.nbytes)
+        )
+        self._segments.append(shm)
+        array = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        np.copyto(array, source)
+        if name == "out":
+            self._out_array = array
+        self.manifest["arrays"][name] = (
+            segment_name,
+            source.shape,
+            source.dtype.str,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held in shared memory."""
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Release every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.out = self._out_array = None
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerView:
+    """A worker process's attached view of one :class:`SharedScoreContext`."""
+
+    ensemble: FlatEnsemble
+    X: CSRMatrix
+    out: np.ndarray
+    segments: list = field(default_factory=list)
+
+
+#: Per-process cache of attached views, keyed by context token.  Entries
+#: live until the worker exits; a held-open segment keeps its memory
+#: alive even after the parent unlinks it, so a stale entry is memory
+#: held, never a crash.
+_WORKER_VIEWS: dict[str, _WorkerView] = {}
+
+
+def _worker_view(manifest: dict) -> _WorkerView:
+    """Attach (once per process) the segments described by ``manifest``."""
+    view = _WORKER_VIEWS.get(manifest["token"])
+    if view is not None:
+        return view
+    segments = []
+    arrays: dict[str, np.ndarray] = {}
+    for name, (segment_name, shape, dtype) in manifest["arrays"].items():
+        shm = _attach(segment_name)
+        segments.append(shm)
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    ensemble = FlatEnsemble.__new__(FlatEnsemble)
+    ensemble.n_trees = manifest["n_trees"]
+    ensemble.n_features = manifest["n_features"]
+    ensemble.max_depth = manifest["max_depth"]
+    ensemble.n_used = manifest["n_used"]
+    for name in _ENSEMBLE_FIELDS:
+        setattr(ensemble, name, arrays[f"ens_{name}"])
+    ensemble.used_features = np.flatnonzero(ensemble.col_of_feature >= 0)
+    X = CSRMatrix(
+        arrays["mat_indptr"],
+        arrays["mat_indices"],
+        arrays["mat_data"],
+        (manifest["n_rows"], manifest["n_cols"]),
+    )
+    view = _WorkerView(
+        ensemble=ensemble, X=X, out=arrays["out"], segments=segments
+    )
+    _WORKER_VIEWS[manifest["token"]] = view
+    return view
+
+
+def score_span(
+    manifest: dict,
+    start: int,
+    stop: int,
+    n_use: int,
+    base_score: float,
+    batch_rows: int | None,
+) -> float:
+    """Pool task: score rows ``[start, stop)`` into the shared output.
+
+    Returns the measured seconds (the only payload pickled back).
+    """
+    view = _worker_view(manifest)
+    started = time.perf_counter()
+    view.ensemble.score_into(
+        view.X,
+        view.out,
+        base_score=base_score,
+        n_use=n_use,
+        batch_rows=batch_rows,
+        start=start,
+        stop=stop,
+    )
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+
+
+class ParallelScorer:
+    """Scores row spans of a compiled ensemble on a persistent fork pool.
+
+    Args:
+        ensemble: The compiled :class:`FlatEnsemble`.
+        n_processes: Worker processes; the fan-out uses at most
+            ``ceil(n_rows / batch_rows)`` of them per call.
+        batch_rows: Row-block size workers sub-chunk their span with
+            (default: the ensemble's cache-sized block).
+
+    Attributes:
+        fallback_reason: Why the pool was permanently disabled, or None.
+        last_task_seconds: Measured per-span seconds of the last pooled
+            call (empty until one has run).
+    """
+
+    def __init__(
+        self,
+        ensemble: FlatEnsemble,
+        n_processes: int,
+        batch_rows: int | None = None,
+    ) -> None:
+        if n_processes < 1:
+            raise DataError(f"n_processes must be >= 1, got {n_processes}")
+        self.ensemble = ensemble
+        self.n_processes = n_processes
+        self.batch_rows = batch_rows
+        self._executor: ProcessPoolExecutor | None = None
+        #: id(X) -> (X, SharedScoreContext).  The strong reference pins
+        #: the id so the cache can never alias a freed matrix.
+        self._contexts: dict[int, tuple[CSRMatrix, SharedScoreContext]] = {}
+        self.fallback_reason: str | None = None
+        self.last_task_seconds: tuple[float, ...] = ()
+
+    def predict_raw(
+        self,
+        X: CSRMatrix,
+        base_score: float = 0.0,
+        n_trees: int | None = None,
+    ) -> np.ndarray:
+        """Raw scores, bit-identical to the serial flat path."""
+        n_use = self.ensemble._n_use(n_trees)
+        batch = self.ensemble._resolve_batch(self.batch_rows, max(1, X.n_rows))
+        n_tasks = min(self.n_processes, -(-X.n_rows // batch)) if X.n_rows else 0
+        if n_tasks < 2 or not self._ensure_executor():
+            return self._sequential(X, base_score, n_use)
+        try:
+            context = self._context(X)
+        except (OSError, ValueError) as exc:
+            self._disable(f"shared memory unavailable ({exc})")
+            return self._sequential(X, base_score, n_use)
+        bounds = [(i * X.n_rows) // n_tasks for i in range(n_tasks + 1)]
+        try:
+            futures = [
+                self._executor.submit(
+                    score_span,
+                    context.manifest,
+                    bounds[i],
+                    bounds[i + 1],
+                    n_use,
+                    base_score,
+                    self.batch_rows,
+                )
+                for i in range(n_tasks)
+            ]
+            self.last_task_seconds = tuple(f.result() for f in futures)
+        except BrokenProcessPool:
+            self._disable("process pool broke")
+            return self._sequential(X, base_score, n_use)
+        # Copy out of the shared segment: the caller's array must outlive
+        # close()/unlink.
+        return context.out[: X.n_rows].copy()
+
+    def _sequential(
+        self, X: CSRMatrix, base_score: float, n_use: int
+    ) -> np.ndarray:
+        out = np.empty(X.n_rows, dtype=np.float64)
+        self.ensemble.score_into(
+            X, out, base_score=base_score, n_use=n_use, batch_rows=self.batch_rows
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self) -> bool:
+        if self._executor is not None:
+            return True
+        if self.fallback_reason is not None:
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            self._disable("fork start method unavailable")
+            return False
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_processes,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except OSError as exc:  # pragma: no cover - resource exhaustion
+            self._disable(f"could not start process pool ({exc})")
+            return False
+        return True
+
+    def _context(self, X: CSRMatrix) -> SharedScoreContext:
+        entry = self._contexts.get(id(X))
+        if entry is None:
+            entry = (X, SharedScoreContext(self.ensemble, X))
+            self._contexts[id(X)] = entry
+        return entry[1]
+
+    def _disable(self, reason: str) -> None:
+        self.fallback_reason = reason
+        warnings.warn(
+            f"process-parallel scoring disabled: {reason}; "
+            "falling back to serial flat scoring",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        for _, context in self._contexts.values():
+            context.close()
+        self._contexts.clear()
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory segment."""
+        self._shutdown()
+
+    def __enter__(self) -> "ParallelScorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self._shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelScorer(n_processes={self.n_processes}, "
+            f"batch_rows={self.batch_rows}, "
+            f"fallback_reason={self.fallback_reason!r})"
+        )

@@ -142,7 +142,13 @@ class RegressionTree:
     # ------------------------------------------------------------------
 
     def leaf_of(self, X: CSRMatrix) -> np.ndarray:
-        """The leaf slot each instance reaches (vectorized, level by level)."""
+        """The leaf slot each instance reaches (vectorized, level by level).
+
+        This is the reference per-tree path; batch scoring goes through
+        the compiled :class:`~repro.inference.flat.FlatEnsemble`.  The
+        ``to_csc()`` call below is memoized on the matrix, so repeated
+        per-tree calls convert once, not once per tree.
+        """
         if self.split_feature[0] == UNUSED:
             raise TrainingError("tree has no root")
         n = X.n_rows

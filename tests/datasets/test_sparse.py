@@ -139,6 +139,49 @@ class TestRoundTrips:
         np.testing.assert_array_equal(rebuilt, dense)
 
 
+class TestCSCCache:
+    def test_memoized_same_objects(self):
+        X = CSRMatrix.from_dense(
+            np.array([[0.0, 1.5], [2.0, 0.0], [0.0, -3.0]], dtype=np.float32)
+        )
+        first = X.to_csc()
+        second = X.to_csc()
+        for a, b in zip(first, second):
+            assert a is b
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_arrays())
+    def test_cached_identical_to_fresh(self, dense):
+        X = CSRMatrix.from_dense(dense)
+        X.to_csc()  # prime the cache
+        cached = X.to_csc()
+        fresh = CSRMatrix.from_dense(dense).to_csc()
+        for a, b in zip(cached, fresh):
+            np.testing.assert_array_equal(a, b)
+            assert a.dtype == b.dtype
+
+    def test_cached_arrays_read_only(self):
+        X = CSRMatrix.from_dense(
+            np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        )
+        for array in X.to_csc():
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[...] = 0
+
+    def test_pickle_drops_cache(self):
+        import pickle
+
+        X = CSRMatrix.from_dense(
+            np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        )
+        X.to_csc()
+        clone = pickle.loads(pickle.dumps(X))
+        assert clone._csc is None
+        for a, b in zip(clone.to_csc(), X.to_csc()):
+            np.testing.assert_array_equal(a, b)
+
+
 class TestAccessors:
     def test_row_out_of_range(self):
         X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)

@@ -1,0 +1,84 @@
+"""Helpers for inference tests: random trees, models, and inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.boosting.gbdt import GBDT
+from repro.boosting.model import GBDTModel
+from repro.datasets.sparse import CSRMatrix
+from repro.tree.tree import RegressionTree
+
+
+def random_tree(
+    rng: np.random.Generator,
+    n_features: int,
+    max_depth: int,
+    split_prob: float = 0.7,
+) -> RegressionTree:
+    """A random *partial* tree: each expandable node splits with
+    ``split_prob``, so shapes range from a single leaf to full depth."""
+    tree = RegressionTree(max_depth=max_depth)
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        can_split = 2 * node + 2 < tree.max_nodes
+        if can_split and rng.random() < split_prob:
+            feature = int(rng.integers(0, n_features))
+            value = float(rng.normal())
+            left, right = tree.set_split(node, feature, value)
+            frontier.extend((left, right))
+        else:
+            tree.set_leaf(node, float(rng.normal()))
+    return tree
+
+
+def random_model(
+    rng: np.random.Generator,
+    n_trees: int,
+    n_features: int,
+    max_depth: int,
+    split_prob: float = 0.7,
+) -> GBDTModel:
+    """A random untrained model — exercises shapes training never makes."""
+    trees = [
+        random_tree(rng, n_features, max_depth, split_prob)
+        for _ in range(n_trees)
+    ]
+    return GBDTModel(
+        trees=trees,
+        base_score=float(rng.normal()),
+        loss_name="squared",
+        n_features=n_features,
+    )
+
+
+def random_matrix(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_cols: int,
+    density: float = 0.3,
+    empty_row_prob: float = 0.1,
+) -> CSRMatrix:
+    """A random CSR matrix with some entirely-empty rows."""
+    rows: list[list[tuple[int, float]]] = []
+    for _ in range(n_rows):
+        if n_cols == 0 or rng.random() < empty_row_prob:
+            rows.append([])
+            continue
+        n_nnz = int(rng.binomial(n_cols, density))
+        cols = rng.choice(n_cols, size=n_nnz, replace=False)
+        rows.append(
+            [(int(c), float(rng.normal())) for c in sorted(cols)]
+        )
+    return CSRMatrix.from_rows(rows, n_cols=n_cols)
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_dataset) -> GBDTModel:
+    """A real trained model over the shared tiny dataset."""
+    return GBDT(
+        config=TrainConfig(n_trees=10, max_depth=5, seed=11)
+    ).fit(tiny_dataset)

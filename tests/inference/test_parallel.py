@@ -1,0 +1,141 @@
+"""Process-parallel scoring: parity, fallback, and no shared-memory leaks.
+
+Mirrors ``tests/chaos/test_shared_memory_faults.py``: every path through
+:class:`ParallelScorer` — clean close, broken pool, context-manager exit
+— must leave ``/dev/shm`` exactly as it found it, and every configuration
+must return bits identical to the serial flat path.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.histogram.shared import SHM_PREFIX
+from repro.inference import ParallelScorer, SharedScoreContext
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+class TestParity:
+    def test_two_process_bitwise(self, trained_model, tiny_dataset):
+        oracle = trained_model.predict_raw_per_tree(tiny_dataset.X)
+        got = trained_model.predict_raw(tiny_dataset.X, n_processes=2)
+        np.testing.assert_array_equal(got, oracle)
+
+    def test_scorer_reuse_and_span_chunking(self, trained_model, tiny_dataset):
+        oracle = trained_model.predict_raw_per_tree(tiny_dataset.X)
+        before = set(leaked_segments())
+        with ParallelScorer(
+            trained_model.compiled(), n_processes=2, batch_rows=37
+        ) as scorer:
+            for _ in range(2):  # second call reuses the cached context
+                got = scorer.predict_raw(
+                    tiny_dataset.X, base_score=trained_model.base_score
+                )
+                np.testing.assert_array_equal(got, oracle)
+        assert set(leaked_segments()) == before
+
+    def test_truncation_through_pool(self, trained_model, tiny_dataset):
+        oracle = trained_model.predict_raw_per_tree(tiny_dataset.X, n_trees=4)
+        with ParallelScorer(
+            trained_model.compiled(), n_processes=2, batch_rows=50
+        ) as scorer:
+            got = scorer.predict_raw(
+                tiny_dataset.X,
+                base_score=trained_model.base_score,
+                n_trees=4,
+            )
+        np.testing.assert_array_equal(got, oracle)
+
+    def test_tiny_input_stays_sequential(self, trained_model, tiny_dataset):
+        # One block's worth of rows -> no fan-out, no segments created.
+        before = set(leaked_segments())
+        with ParallelScorer(trained_model.compiled(), n_processes=2) as scorer:
+            got = scorer.predict_raw(
+                tiny_dataset.X, base_score=trained_model.base_score
+            )
+            assert scorer._contexts == {}
+        np.testing.assert_array_equal(
+            got, trained_model.predict_raw_per_tree(tiny_dataset.X)
+        )
+        assert set(leaked_segments()) == before
+
+
+class TestSegmentLifetime:
+    def test_context_close_is_idempotent(self, trained_model, tiny_dataset):
+        before = set(leaked_segments())
+        context = SharedScoreContext(trained_model.compiled(), tiny_dataset.X)
+        assert context.nbytes > 0
+        assert len(set(leaked_segments()) - before) == len(
+            context.manifest["arrays"]
+        )
+        context.close()
+        context.close()
+        assert set(leaked_segments()) == before
+
+    def test_predict_raw_transient_pool_releases(
+        self, trained_model, tiny_dataset
+    ):
+        before = set(leaked_segments())
+        trained_model.predict_raw(
+            tiny_dataset.X, n_processes=2, batch_rows=40
+        )
+        assert set(leaked_segments()) == before
+
+
+class _BreakingExecutor:
+    """Stand-in executor whose submissions always report a dead pool."""
+
+    def submit(self, *args, **kwargs):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("worker died")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestPoolBreakage:
+    def test_broken_pool_warns_falls_back_and_releases(
+        self, trained_model, tiny_dataset
+    ):
+        oracle = trained_model.predict_raw_per_tree(tiny_dataset.X)
+        before = set(leaked_segments())
+        scorer = ParallelScorer(
+            trained_model.compiled(), n_processes=2, batch_rows=40
+        )
+        scorer._executor = _BreakingExecutor()
+        try:
+            with pytest.warns(RuntimeWarning, match="process pool broke"):
+                got = scorer.predict_raw(
+                    tiny_dataset.X, base_score=trained_model.base_score
+                )
+        finally:
+            scorer.close()
+        assert scorer.fallback_reason == "process pool broke"
+        np.testing.assert_array_equal(got, oracle)
+        assert set(leaked_segments()) == before
+
+    def test_disabled_scorer_stays_sequential(
+        self, trained_model, tiny_dataset
+    ):
+        scorer = ParallelScorer(
+            trained_model.compiled(), n_processes=2, batch_rows=40
+        )
+        scorer._executor = _BreakingExecutor()
+        with pytest.warns(RuntimeWarning):
+            scorer.predict_raw(tiny_dataset.X)
+        before = set(leaked_segments())
+        got = scorer.predict_raw(
+            tiny_dataset.X, base_score=trained_model.base_score
+        )
+        np.testing.assert_array_equal(
+            got, trained_model.predict_raw_per_tree(tiny_dataset.X)
+        )
+        assert set(leaked_segments()) == before
+        scorer.close()
