@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run reprolint over the tree."""
+
+from .reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

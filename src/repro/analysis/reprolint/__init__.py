@@ -1,0 +1,46 @@
+"""reprolint — AST-based checker for the repo's reproducibility contracts.
+
+Public surface:
+
+* :func:`lint_paths` / :func:`lint_source` — run the rules.
+* :class:`Finding`, :class:`LintResult` — results.
+* :class:`Rule`, :func:`register`, :func:`all_rules` — extend the rule set.
+* :func:`render_text` / :func:`to_json` / :func:`render_json` — reporters.
+* :func:`main` — the ``python -m repro.analysis`` entry point.
+
+See ``docs/static-analysis.md`` for the rule catalogue (RP001–RP006),
+the invariants each guards, and the suppression syntax.
+"""
+
+from .cli import main
+from .core import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    all_rules,
+    get_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from .reporters import JSON_SCHEMA_VERSION, render_json, render_text, to_json
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "to_json",
+]

@@ -1,0 +1,79 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Both render a :class:`~repro.analysis.reprolint.core.LintResult`
+deterministically — no timestamps, no absolute paths, stable ordering —
+so two runs over the same tree produce byte-identical reports (the CI
+artifact diffs cleanly between commits).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core import LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "to_json", "render_json"]
+
+#: Bumped whenever the JSON document shape changes; consumers pin it.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: CODE message`` line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}{marker}"
+        )
+    counts = result.counts()
+    if counts:
+        per_rule = ", ".join(f"{code}={n}" for code, n in counts.items())
+        lines.append(
+            f"reprolint: {len(result.unsuppressed)} finding(s) in "
+            f"{result.files_checked} file(s) [{per_rule}]"
+            + (
+                f"; {len(result.suppressed)} suppressed"
+                if result.suppressed
+                else ""
+            )
+        )
+    else:
+        lines.append(
+            f"reprolint: clean — {result.files_checked} file(s), "
+            f"{len(result.suppressed)} suppressed finding(s)"
+        )
+    return "\n".join(lines)
+
+
+def to_json(result: LintResult) -> dict[str, Any]:
+    """The JSON document as a plain dict (see tests for the schema)."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "summary": result.counts(),
+        "suppressed_count": len(result.suppressed),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "name": finding.name,
+                "message": finding.message,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "suppressed": finding.suppressed,
+            }
+            for finding in result.findings
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """``to_json`` serialized with stable key order."""
+    return json.dumps(to_json(result), indent=2, sort_keys=True)

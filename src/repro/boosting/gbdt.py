@@ -16,7 +16,6 @@ re-running tree inference on the training set.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -30,6 +29,7 @@ from ..ps.master import WorkerPhase
 from ..runtime.hooks import CallbackList, HistoryCollector, TrainerCallback
 from ..runtime.loop import BoostingLoop, TreeGrowthStrategy, sample_features
 from ..runtime.phases import PhaseRunner
+from ..utils.timing import wall_clock
 from ..sketch.candidates import CandidateSet, propose_candidates
 from ..tree.grower import LayerwiseGrower
 from .losses import get_loss
@@ -101,7 +101,7 @@ class _SingleProcessStrategy(TreeGrowthStrategy):
         self.best_round = -1
 
     def begin_tree(self, tree_index: int) -> None:
-        self._round_started_at = time.perf_counter()
+        self._round_started_at = wall_clock()
 
     def compute_gradients(self, tree_index: int):
         with self.runner.stage(WorkerPhase.NEW_TREE, tree_index):
@@ -127,7 +127,7 @@ class _SingleProcessStrategy(TreeGrowthStrategy):
             if eval_loss < self.best_eval - 1e-12:
                 self.best_eval = eval_loss
                 self.best_round = tree_index
-        now = time.perf_counter()
+        now = wall_clock()
         return BoostingRound(
             tree_index=tree_index,
             train_loss=loss.loss(self.train.y, self.raw, self.train.weights),
@@ -216,7 +216,7 @@ class GBDT:
                     f"{early_stopping_rounds}"
                 )
         loss = get_loss(config.loss)
-        start = time.perf_counter()
+        start = wall_clock()
         if candidates is None:
             candidates = propose_candidates(train.X, config.n_split_candidates)
         shard = BinnedShard(train.X, candidates)

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -31,6 +30,7 @@ from ..ps.master import WorkerPhase
 from ..runtime.hooks import CallbackList, HistoryCollector, TrainerCallback
 from ..runtime.loop import BoostingLoop, TreeGrowthStrategy
 from ..runtime.phases import PhaseRunner
+from ..utils.timing import wall_clock
 from ..sketch.candidates import CandidateSet, propose_candidates
 from ..tree.grower import LayerwiseGrower
 from ..tree.tree import RegressionTree
@@ -258,7 +258,7 @@ class _MulticlassStrategy(TreeGrowthStrategy):
         self._round_started_at = 0.0
 
     def begin_tree(self, tree_index: int) -> None:
-        self._round_started_at = time.perf_counter()
+        self._round_started_at = wall_clock()
 
     def compute_gradients(self, tree_index: int):
         with self.runner.stage(WorkerPhase.NEW_TREE, tree_index):
@@ -283,7 +283,7 @@ class _MulticlassStrategy(TreeGrowthStrategy):
             train_error=float(
                 np.mean(predicted != self.loss.check_labels(self.train.y))
             ),
-            seconds=time.perf_counter() - self._round_started_at,
+            seconds=wall_clock() - self._round_started_at,
         )
 
 

@@ -254,6 +254,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.reprolint.cli import main as reprolint_main
+
+    forwarded: list[str] = list(args.paths)
+    forwarded += ["--format", args.format]
+    if args.output is not None:
+        forwarded += ["--output", args.output]
+    if args.select is not None:
+        forwarded += ["--select", args.select]
+    if args.show_suppressed:
+        forwarded.append("--show-suppressed")
+    return reprolint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -333,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_train_options(compare)
     compare.set_defaults(func=cmd_compare)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's invariant checker (RP001-RP006)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs (default: src)"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--output", default=None, metavar="FILE")
+    lint.add_argument("--select", default=None, metavar="CODES")
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -16,7 +16,6 @@ the backends differ in *time*, which is the paper's claim.
 from __future__ import annotations
 
 import inspect
-import time
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -36,6 +35,7 @@ from ..ps.partitioner import Partition
 from ..sketch.candidates import CandidateSet
 from ..tree.split import SplitDecision, best_split_in_range, combine_shard_decisions
 from ..utils.rng import spawn_rng
+from ..utils.timing import wall_clock
 from .scheduler import (
     RoundRobinScheduler,
     SingleAgentScheduler,
@@ -185,11 +185,11 @@ class MLlibBackend(AggregationBackend):
 
     def find_splits(self, nodes, feature_valid, clock):
         decisions: dict[int, SplitDecision | None] = {}
-        started = time.perf_counter()
+        started = wall_clock()
         for node in nodes:
             decisions[node] = self._scan_flat(self._merged.pop(node), feature_valid)
         # One coordinator scans every node serially: no parallelism.
-        clock.advance_compute(time.perf_counter() - started, phase="FIND_SPLIT")
+        clock.advance_compute(wall_clock() - started, phase="FIND_SPLIT")
         self._charge_decision_broadcast(clock, len(nodes))
         return decisions
 
@@ -211,10 +211,10 @@ class XGBoostBackend(AggregationBackend):
 
     def find_splits(self, nodes, feature_valid, clock):
         decisions: dict[int, SplitDecision | None] = {}
-        started = time.perf_counter()
+        started = wall_clock()
         for node in nodes:
             decisions[node] = self._scan_flat(self._merged.pop(node), feature_valid)
-        clock.advance_compute(time.perf_counter() - started, phase="FIND_SPLIT")
+        clock.advance_compute(wall_clock() - started, phase="FIND_SPLIT")
         # Up-bottom broadcast of the model update along the tree.
         w = self.cluster.n_workers
         clock.advance_comm(
@@ -261,7 +261,7 @@ class LightGBMBackend(AggregationBackend):
             owned, segments = self._owned.pop(node)
             shard_decisions: list[SplitDecision | None] = []
             for worker_id, (lo, hi) in segments.items():
-                started = time.perf_counter()
+                started = wall_clock()
                 shard_decisions.append(
                     best_split_in_range(
                         owned[worker_id],
@@ -274,7 +274,7 @@ class LightGBMBackend(AggregationBackend):
                         feature_valid,
                     )
                 )
-                per_worker_seconds[worker_id] += time.perf_counter() - started
+                per_worker_seconds[worker_id] += wall_clock() - started
             decisions[node] = combine_shard_decisions(shard_decisions)
         # Workers scan their ranges in parallel; barrier on the slowest.
         clock.barrier(
@@ -353,9 +353,9 @@ class TencentBoostBackend(AggregationBackend):
                 p * self.cost.alpha + self.flat_bytes * self.cost.beta,
                 phase="FIND_SPLIT",
             )
-            started = time.perf_counter()
+            started = wall_clock()
             decisions[node] = self._scan_flat(flat, feature_valid)
-            leader_seconds += time.perf_counter() - started
+            leader_seconds += wall_clock() - started
             self.group.clear_row("grad_hist", node)
         clock.advance_compute(leader_seconds, phase="FIND_SPLIT")
         self._charge_decision_broadcast(clock, len(nodes))
@@ -536,7 +536,7 @@ class DimBoostBackend(AggregationBackend):
             for node in its_nodes:
                 if self.two_phase:
                     udf = self._make_udf(feature_valid, node)
-                    started = time.perf_counter()
+                    started = wall_clock()
                     results, _stats = self.group.pull_row_udf(
                         "grad_hist",
                         node,
@@ -544,7 +544,7 @@ class DimBoostBackend(AggregationBackend):
                         result_bytes=DECISION_BYTES,
                         worker=worker_id,
                     )
-                    scan_wall = time.perf_counter() - started
+                    scan_wall = wall_clock() - started
                     decisions[node] = combine_shard_decisions(
                         [decision for _part, decision in results]
                     )
@@ -565,9 +565,9 @@ class DimBoostBackend(AggregationBackend):
                         flat = self._fold_zero_buckets(
                             flat, 0, self.flat_len, sums[0], sums[1]
                         )
-                    started = time.perf_counter()
+                    started = wall_clock()
                     decisions[node] = self._scan_flat(flat, feature_valid)
-                    per_worker_seconds[worker_id] += time.perf_counter() - started
+                    per_worker_seconds[worker_id] += wall_clock() - started
                 self.group.clear_row("grad_hist", node)
             # Each worker's pulls serialize at its own NIC but run in
             # parallel across workers — fold into its compute lane so the

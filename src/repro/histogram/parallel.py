@@ -18,7 +18,6 @@ module reports two numbers:
 from __future__ import annotations
 
 import heapq
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
@@ -26,6 +25,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import TrainingError
+from ..utils.timing import wall_clock
 from .binned import BinnedShard
 from .builder import build_node_histogram_sparse
 from .histogram import GradientHistogram
@@ -129,7 +129,7 @@ def build_histogram_batched(
     if not batches:
         batches = [rows]
 
-    wall_start = time.perf_counter()
+    wall_start = wall_clock()
     # Indexed by batch, not appended in completion order: threads finish
     # in nondeterministic order, and the span account must be reproducible
     # for a fixed seed.
@@ -137,9 +137,9 @@ def build_histogram_batched(
 
     def run_batch(item: tuple[int, np.ndarray]) -> GradientHistogram:
         index, batch = item
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         part = kernel(shard, batch, grad, hess)
-        batch_seconds[index] = time.perf_counter() - t0
+        batch_seconds[index] = wall_clock() - t0
         return part
 
     threaded = use_real_threads and len(batches) > 1 and n_threads > 1
@@ -152,7 +152,7 @@ def build_histogram_batched(
     total = parts[0]
     for part in parts[1:]:
         total.add_(part)
-    wall_seconds = time.perf_counter() - wall_start
+    wall_seconds = wall_clock() - wall_start
     return ParallelBuildResult(
         histogram=total,
         n_batches=len(batches),

@@ -19,13 +19,13 @@ unlinks a segment the parent still uses (the CPython < 3.13
 
 from __future__ import annotations
 
-import time
 import uuid
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..utils.timing import wall_clock
 from .binned import BinnedShard
 from .buffers import HistogramBufferPool
 from .builder import build_node_histogram_dense, build_node_histogram_sparse
@@ -215,7 +215,9 @@ class _WorkerView:
 #: live until the worker process exits; segments a worker holds open
 #: keep their memory alive even after the parent unlinks them, so a
 #: stale entry is memory held, never a crash.
-_WORKER_VIEWS: dict[str, _WorkerView] = {}
+# Fork-safe by design: only worker tasks populate it, so it is empty in
+# the parent at fork time and each child grows its own private copy.
+_WORKER_VIEWS: dict[str, _WorkerView] = {}  # reprolint: disable=RP004
 
 
 def _worker_view(manifest: dict) -> _WorkerView:
@@ -256,7 +258,7 @@ def build_into_slot(
     """
     view = _worker_view(manifest)
     kernel = build_node_histogram_sparse if sparse else build_node_histogram_dense
-    started = time.perf_counter()
+    started = wall_clock()
     out = GradientHistogram(view.slab[slot, 0], view.slab[slot, 1])
     kernel(view.shard, rows, view.grad, view.hess, out=out)
-    return time.perf_counter() - started
+    return wall_clock() - started

@@ -24,7 +24,6 @@ unavailable, or a broken pool.
 from __future__ import annotations
 
 import multiprocessing
-import time
 import uuid
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -37,6 +36,7 @@ import numpy as np
 from ..datasets.sparse import CSRMatrix
 from ..errors import DataError
 from ..histogram.shared import SHM_PREFIX, _attach
+from ..utils.timing import wall_clock
 from .flat import FlatEnsemble
 
 __all__ = ["ParallelScorer", "SharedScoreContext", "score_span"]
@@ -153,7 +153,9 @@ class _WorkerView:
 #: live until the worker exits; a held-open segment keeps its memory
 #: alive even after the parent unlinks it, so a stale entry is memory
 #: held, never a crash.
-_WORKER_VIEWS: dict[str, _WorkerView] = {}
+# Fork-safe by design: only worker tasks populate it, so it is empty in
+# the parent at fork time and each child grows its own private copy.
+_WORKER_VIEWS: dict[str, _WorkerView] = {}  # reprolint: disable=RP004
 
 
 def _worker_view(manifest: dict) -> _WorkerView:
@@ -201,7 +203,7 @@ def score_span(
     Returns the measured seconds (the only payload pickled back).
     """
     view = _worker_view(manifest)
-    started = time.perf_counter()
+    started = wall_clock()
     view.ensemble.score_into(
         view.X,
         view.out,
@@ -211,7 +213,7 @@ def score_span(
         start=start,
         stop=stop,
     )
-    return time.perf_counter() - started
+    return wall_clock() - started
 
 
 # ----------------------------------------------------------------------

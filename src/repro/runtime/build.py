@@ -128,7 +128,13 @@ class DenseBuildStrategy(_PooledKernelStrategy):
     name = "dense"
     dense = True
 
-    def build(self, shard, rows, grad, hess):
+    def build(
+        self,
+        shard: BinnedShard,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> tuple[GradientHistogram, float]:
         started = time.perf_counter()
         histogram = build_node_histogram_dense(
             shard, rows, grad, hess, out=self._out(shard)
@@ -142,7 +148,13 @@ class SparseBuildStrategy(_PooledKernelStrategy):
     name = "sparse"
     dense = False
 
-    def build(self, shard, rows, grad, hess):
+    def build(
+        self,
+        shard: BinnedShard,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> tuple[GradientHistogram, float]:
         started = time.perf_counter()
         histogram = build_node_histogram_sparse(
             shard, rows, grad, hess, out=self._out(shard)
@@ -180,7 +192,13 @@ class BatchedBuildStrategy(HistogramBuildStrategy):
         #: Last build's full telemetry (span, wall, per-batch times).
         self.last_result: ParallelBuildResult | None = None
 
-    def build(self, shard, rows, grad, hess):
+    def build(
+        self,
+        shard: BinnedShard,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> tuple[GradientHistogram, float]:
         result = build_histogram_batched(
             shard,
             rows,
@@ -256,11 +274,19 @@ class ProcessParallelBuildStrategy(HistogramBuildStrategy):
     # build
     # ------------------------------------------------------------------
 
-    def build(self, shard, rows, grad, hess):
+    def build(
+        self,
+        shard: BinnedShard,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> tuple[GradientHistogram, float]:
         rows = np.asarray(rows, dtype=np.int64)
         n_tasks = min(self.n_processes, -(-len(rows) // self.batch_size))
         if n_tasks < 2 or not self._ensure_executor():
             return self._sequential(shard, rows, grad, hess)
+        executor = self._executor
+        assert executor is not None  # _ensure_executor() just built it
         try:
             entry = self._entry(shard)
         except (OSError, ValueError) as exc:
@@ -272,7 +298,7 @@ class ProcessParallelBuildStrategy(HistogramBuildStrategy):
         started = time.perf_counter()
         try:
             futures = [
-                self._executor.submit(
+                executor.submit(
                     build_into_slot, shared.manifest, slot, chunk, self.sparse
                 )
                 for slot, chunk in enumerate(chunks)
@@ -294,7 +320,13 @@ class ProcessParallelBuildStrategy(HistogramBuildStrategy):
         )
         return histogram, wall
 
-    def _sequential(self, shard, rows, grad, hess):
+    def _sequential(
+        self,
+        shard: BinnedShard,
+        rows: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+    ) -> tuple[GradientHistogram, float]:
         started = time.perf_counter()
         out = self.pool.acquire(shard.n_features, shard.n_bins)
         histogram = self.kernel(shard, rows, grad, hess, out=out)

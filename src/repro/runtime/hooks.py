@@ -26,7 +26,7 @@ trainer.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..ps.master import WorkerPhase
 
@@ -198,7 +198,7 @@ class FaultAccountant(TrainerCallback):
     (rollback-replay) accumulates across its attempts.
     """
 
-    def __init__(self, source) -> None:
+    def __init__(self, source: Any) -> None:
         self.source = source
         self.per_round: dict[int, dict[str, int]] = {}
         self._seen: dict[str, int] = dict(source.counters)

@@ -16,6 +16,7 @@ the single-machine reference.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -117,7 +118,7 @@ class BoostingLoop:
         config: TrainConfig,
         callbacks: CallbackList | None = None,
         rng_stream: str = "feature_sampling",
-        recovery=None,
+        recovery: Any = None,
     ) -> None:
         self.strategy = strategy
         self.config = config

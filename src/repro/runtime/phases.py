@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from types import TracebackType
 from typing import Iterator, Sequence
 
 from ..cluster.simclock import SimClock
@@ -105,7 +106,12 @@ class PhaseStage:
         runner.callbacks.on_phase_start(self.phase, self.tree_index)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is not None:
             return
         wall = time.perf_counter() - self._started_at

@@ -79,21 +79,29 @@ def exact_best_split(
             continue  # constant zero inside this node: nothing to split
         # Dense value vector of this feature over the node: nonzeros plus
         # the implicit zeros, with their gradient mass.
-        values = np.concatenate([nz_vals, np.zeros(n_zero)])
+        values = np.concatenate([nz_vals, np.zeros(n_zero, dtype=np.float64)])
         g_vec = np.concatenate(
             [
                 grad[nz_rows],
-                np.full(n_zero, (node_grad.sum() - grad[nz_rows].sum()) / n_zero)
+                np.full(
+                    n_zero,
+                    (node_grad.sum() - grad[nz_rows].sum()) / n_zero,
+                    dtype=np.float64,
+                )
                 if n_zero
-                else np.empty(0),
+                else np.empty(0, dtype=np.float64),
             ]
         )
         h_vec = np.concatenate(
             [
                 hess[nz_rows],
-                np.full(n_zero, (node_hess.sum() - hess[nz_rows].sum()) / n_zero)
+                np.full(
+                    n_zero,
+                    (node_hess.sum() - hess[nz_rows].sum()) / n_zero,
+                    dtype=np.float64,
+                )
                 if n_zero
-                else np.empty(0),
+                else np.empty(0, dtype=np.float64),
             ]
         )
         order = np.argsort(values, kind="stable")

@@ -1,0 +1,4 @@
+# Fixture corpus for the reprolint rule tests.  Every ``*_bad.py`` module
+# marks its expected violations with ``# expect: RPxxx`` comments; the
+# matching ``*_good.py`` twin must lint clean.  These modules are parsed,
+# never imported.

@@ -1,0 +1,21 @@
+"""Known-bad RP001 fixture: unseeded randomness in library code."""
+
+import random
+
+import numpy as np
+
+
+def roll() -> float:
+    return np.random.rand()  # expect: RP001
+
+
+def shuffle(items: list) -> None:
+    random.shuffle(items)  # expect: RP001
+
+
+def fresh_rng() -> np.random.Generator:
+    return np.random.default_rng()  # expect: RP001
+
+
+def coin() -> float:
+    return random.random()  # expect: RP001

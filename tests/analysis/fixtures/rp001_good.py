@@ -1,0 +1,15 @@
+"""Known-good RP001 twin: every draw flows through a seeded Generator."""
+
+import numpy as np
+
+
+def roll(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def shuffle(items: list, rng: np.random.Generator) -> None:
+    rng.shuffle(items)
+
+
+def fresh_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed]))

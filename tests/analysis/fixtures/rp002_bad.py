@@ -1,0 +1,18 @@
+"""Known-bad RP002 fixture: unphased wall-clock reads."""
+
+import time
+from datetime import datetime
+from time import perf_counter as tick
+
+
+def stamp() -> float:
+    return time.time()  # expect: RP002
+
+
+def measure() -> float:
+    started = tick()  # expect: RP002
+    return tick() - started  # expect: RP002
+
+
+def when() -> str:
+    return datetime.now().isoformat()  # expect: RP002

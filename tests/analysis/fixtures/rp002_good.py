@@ -1,0 +1,18 @@
+"""Known-good RP002 twin: timing flows through the audited seam."""
+
+import time
+
+from repro.utils.timing import Stopwatch, wall_clock
+
+
+def measure() -> float:
+    started = wall_clock()
+    time.sleep(0)  # sleeping is not a clock *read*
+    return wall_clock() - started
+
+
+def accumulate() -> float:
+    stopwatch = Stopwatch()
+    with stopwatch:
+        pass
+    return stopwatch.total

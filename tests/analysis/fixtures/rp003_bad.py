@@ -1,0 +1,28 @@
+"""Known-bad RP003 fixture: shared memory without a paired release."""
+
+from multiprocessing import shared_memory
+
+
+def scratch_segment(nbytes: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(create=True, size=nbytes)  # expect: RP003
+
+
+class LeakyHolder:
+    """Creates a segment but only ever close()s it, never unlink()s."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)  # expect: RP003
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+class ForgetfulHolder:
+    """Releases correctly but nothing guarantees release ever runs."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)  # expect: RP003
+
+    def close(self) -> None:
+        self.shm.close()
+        self.shm.unlink()

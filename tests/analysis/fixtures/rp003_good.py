@@ -1,0 +1,25 @@
+"""Known-good RP003 twin: paired create/unlink plus lifecycle hooks."""
+
+from multiprocessing import shared_memory
+
+
+class SegmentOwner:
+    """Owns its segments: close() unlinks, __exit__/__del__ guarantee it."""
+
+    def __init__(self, nbytes: int) -> None:
+        self._segments = [shared_memory.SharedMemory(create=True, size=nbytes)]
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+            segment.unlink()
+        self._segments = []
+
+    def __enter__(self) -> "SegmentOwner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()

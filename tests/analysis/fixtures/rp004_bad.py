@@ -1,0 +1,21 @@
+"""Known-bad RP004 fixture: fork-hostile state on the pool seam."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULT_CACHE: dict[str, bytes] = {}  # expect: RP004
+_POOL_LOCK = threading.Lock()  # expect: RP004
+
+
+def fan_out(chunks: list) -> list:
+    pool = ProcessPoolExecutor(max_workers=2)
+
+    def run_chunk(chunk: object) -> object:
+        return chunk
+
+    futures = [pool.submit(run_chunk, chunk) for chunk in chunks]  # expect: RP004
+    return [future.result() for future in futures]
+
+
+def fan_out_lambda(pool: ProcessPoolExecutor, value: int) -> object:
+    return pool.submit(lambda: value + 1)  # expect: RP004

@@ -1,0 +1,16 @@
+"""Known-good RP004 twin: immutable module state, module-level tasks."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_FIELDS = ("indptr", "features", "slots")
+_DEFAULT_WORKERS = 2
+
+
+def run_chunk(chunk: object) -> object:
+    return chunk
+
+
+def fan_out(chunks: list) -> list:
+    with ProcessPoolExecutor(max_workers=_DEFAULT_WORKERS) as pool:
+        futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+        return [future.result() for future in futures]

@@ -1,0 +1,19 @@
+"""Known-bad RP005 fixture: kernel allocations with implicit dtype."""
+
+import numpy as np
+
+
+def accumulate(n_features: int, n_bins: int) -> np.ndarray:
+    return np.zeros((2, n_features, n_bins))  # expect: RP005
+
+
+def scratch(n: int) -> np.ndarray:
+    return np.empty(n)  # expect: RP005
+
+
+def pad(n: int) -> np.ndarray:
+    return np.full(n, np.inf)  # expect: RP005
+
+
+def weights(n: int) -> np.ndarray:
+    return np.ones(n)  # expect: RP005

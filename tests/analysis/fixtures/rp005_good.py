@@ -1,0 +1,19 @@
+"""Known-good RP005 twin: every kernel allocation states its dtype."""
+
+import numpy as np
+
+
+def accumulate(n_features: int, n_bins: int) -> np.ndarray:
+    return np.zeros((2, n_features, n_bins), dtype=np.float64)
+
+
+def scratch(n: int) -> np.ndarray:
+    return np.empty(n, np.float64)  # positional dtype also counts
+
+
+def pad(n: int) -> np.ndarray:
+    return np.full(n, np.inf, dtype=np.float64)
+
+
+def weights(n: int) -> np.ndarray:
+    return np.ones(n, dtype=np.float64)

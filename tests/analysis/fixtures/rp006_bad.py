@@ -1,0 +1,35 @@
+"""Known-bad RP006 fixture: the push path drops the seq token."""
+
+import numpy as np
+
+
+class Server:
+    """handle_push without a seq parameter cannot deduplicate."""
+
+    def __init__(self) -> None:
+        self._rows: dict = {}
+
+    def handle_push(self, name: str, row: int, values: np.ndarray) -> None:  # expect: RP006
+        stored = self._rows.get((name, row))
+        if stored is None:
+            self._rows[(name, row)] = values.copy()
+        else:
+            stored += values
+
+
+class ForgetfulServer:
+    """Accepts seq but never reads it: duplicates still double-count."""
+
+    def __init__(self) -> None:
+        self._rows: dict = {}
+
+    def handle_push(self, name, row, values, seq=None):  # expect: RP006
+        self._rows[(name, row)] = values
+
+
+class Group:
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+    def push_row(self, name: str, row: int, values: np.ndarray) -> None:  # expect: RP006
+        self.server.handle_push(name, row, values)  # expect: RP006

@@ -1,0 +1,31 @@
+"""Known-good RP006 twin: the seq token is threaded end to end."""
+
+import numpy as np
+
+
+class Server:
+    def __init__(self) -> None:
+        self._rows: dict = {}
+        self._applied: dict = {}
+
+    def handle_push(self, name, row, values, seq=None):
+        if seq is not None:
+            applied = self._applied.setdefault((name, row), set())
+            if seq in applied:
+                return
+            applied.add(seq)
+        stored = self._rows.get((name, row))
+        if stored is None:
+            self._rows[(name, row)] = values.copy()
+        else:
+            stored += values
+
+
+class Group:
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+    def push_row(
+        self, name: str, row: int, values: np.ndarray, seq: object | None = None
+    ) -> None:
+        self.server.handle_push(name, row, values, seq=seq)

@@ -1,0 +1,369 @@
+"""reprolint tests: the fixture corpus, suppressions, reporters, and CLI.
+
+Every rule has a known-bad fixture whose violations are marked inline
+with ``# expect: RPxxx`` comments and a known-good twin that must lint
+clean *under the same pretend path* (so path-scoped rules are genuinely
+in scope, not vacuously silent).  The src-tree test then pins the
+repo's own waiver budget: the tree is clean, and the only suppressions
+are the audited ones in the timing seam and the worker-view caches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reprolint import (
+    JSON_SCHEMA_VERSION,
+    all_rules,
+    get_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    to_json,
+)
+from repro.analysis.reprolint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+#: (code, pretend rel_path) — the path places each fixture inside the
+#: package scope its rule patrols.
+RULE_PATHS = {
+    "RP001": "repro/boosting/fixture.py",
+    "RP002": "repro/distributed/fixture.py",
+    "RP003": "repro/histogram/fixture.py",
+    "RP004": "repro/histogram/fixture.py",
+    "RP005": "repro/histogram/fixture.py",
+    "RP006": "repro/ps/fixture.py",
+}
+ALL_CODES = sorted(RULE_PATHS)
+
+
+def fixture_source(code: str, kind: str) -> str:
+    return (FIXTURES / f"{code.lower()}_{kind}.py").read_text(encoding="utf-8")
+
+
+def expected_lines(source: str, code: str) -> list[int]:
+    """1-based lines carrying an ``# expect: <code>`` marker."""
+    return [
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if f"expect: {code}" in text
+    ]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_has_all_six_rules():
+    assert [rule.code for rule in all_rules()] == ALL_CODES
+    for rule in all_rules():
+        assert rule.summary and rule.invariant and rule.name
+
+
+def test_get_rules_select_and_ignore():
+    selected = get_rules(select=["RP002", "RP005"])
+    assert [rule.code for rule in selected] == ["RP002", "RP005"]
+    remaining = get_rules(ignore=["RP001"])
+    assert "RP001" not in {rule.code for rule in remaining}
+
+
+def test_get_rules_rejects_unknown_codes():
+    with pytest.raises(ValueError, match="RP999"):
+        get_rules(select=["RP999"])
+
+
+# ----------------------------------------------------------------------
+# per-rule fixture corpus
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_flagged_at_expected_lines(code):
+    source = fixture_source(code, "bad")
+    expected = expected_lines(source, code)
+    assert expected, f"{code} bad fixture has no expect markers"
+    findings = lint_source(source, RULE_PATHS[code], get_rules(select=[code]))
+    assert [f.line for f in findings] == expected
+    assert all(f.rule == code and not f.suppressed for f in findings)
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_twin_is_clean(code):
+    source = fixture_source(code, "good")
+    findings = lint_source(source, RULE_PATHS[code], get_rules(select=[code]))
+    assert findings == []
+
+
+def test_rp002_seam_modules_are_exempt():
+    source = fixture_source("RP002", "bad")
+    for seam in ("repro/runtime/phases.py", "repro/runtime/build.py"):
+        assert lint_source(source, seam, get_rules(select=["RP002"])) == []
+
+
+def test_rp005_only_fires_in_kernel_packages():
+    source = fixture_source("RP005", "bad")
+    outside = lint_source(
+        source, "repro/boosting/fixture.py", get_rules(select=["RP005"])
+    )
+    assert outside == []
+
+
+def test_rp006_def_checks_scoped_to_ps_call_checks_global():
+    source = fixture_source("RP006", "bad")
+    findings = lint_source(
+        source, "repro/worker/fixture.py", get_rules(select=["RP006"])
+    )
+    # Outside ps/ the handler/pusher *definitions* are someone else's
+    # contract, but a call that drops seq= is flagged everywhere.
+    call_lines = [
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if "self.server.handle_push" in text
+    ]
+    assert [f.line for f in findings] == call_lines
+
+
+def test_rp001_resolves_import_aliases():
+    flagged = lint_source(
+        "import numpy.random as npr\nnpr.rand()\n",
+        "repro/x.py",
+        get_rules(select=["RP001"]),
+    )
+    assert [f.line for f in flagged] == [2]
+    renamed = lint_source(
+        "from numpy import random as rnd\nrnd.shuffle(x)\n",
+        "repro/x.py",
+        get_rules(select=["RP001"]),
+    )
+    assert [f.line for f in renamed] == [2]
+
+
+def test_rules_ignore_lookalike_local_names():
+    # `np` is a local object, not the numpy import: no finding.
+    source = "np = make_fake()\nnp.random.rand()\n"
+    assert lint_source(source, "repro/x.py", get_rules(select=["RP001"])) == []
+    # Same for a local called `time`.
+    source = "time = clock_stub()\ntime.time()\n"
+    assert lint_source(source, "repro/x.py", get_rules(select=["RP002"])) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+
+def test_inline_suppression_absorbs_only_its_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # reprolint: disable=RP002 -- audited boot stamp\n"
+        "b = time.time()\n"
+    )
+    findings = lint_source(source, "repro/x.py", get_rules(select=["RP002"]))
+    assert [(f.line, f.suppressed) for f in findings] == [(2, True), (3, False)]
+
+
+def test_filewide_suppression_absorbs_whole_module():
+    source = (
+        "# reprolint: disable-file=RP002 -- legacy module, tracked in #12\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    findings = lint_source(source, "repro/x.py", get_rules(select=["RP002"]))
+    assert len(findings) == 2
+    assert all(f.suppressed for f in findings)
+
+
+def test_suppression_is_per_code():
+    source = (
+        "import time\n"
+        "a = time.time()  # reprolint: disable=RP001 -- wrong code\n"
+    )
+    findings = lint_source(source, "repro/x.py", get_rules(select=["RP002"]))
+    assert [f.suppressed for f in findings] == [False]
+
+
+def test_disable_all_suppresses_any_code():
+    source = "import time\na = time.time()  # reprolint: disable=all\n"
+    findings = lint_source(source, "repro/x.py", get_rules(select=["RP002"]))
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_suppressed_findings_still_recorded(tmp_path):
+    bad = tmp_path / "repro" / "distributed" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n"
+        "a = time.time()  # reprolint: disable=RP002 -- waived\n",
+        encoding="utf-8",
+    )
+    result = lint_paths([bad], root=tmp_path, rules=get_rules(select=["RP002"]))
+    assert result.ok
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].path == "repro/distributed/mod.py"
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+
+
+def _dirty_result(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()  # reprolint: disable=RP002 -- waived\n",
+        encoding="utf-8",
+    )
+    return lint_paths([bad], root=tmp_path, rules=get_rules(select=["RP002"]))
+
+
+def test_json_document_schema(tmp_path):
+    doc = to_json(_dirty_result(tmp_path))
+    assert set(doc) == {
+        "version",
+        "tool",
+        "ok",
+        "files_checked",
+        "summary",
+        "suppressed_count",
+        "findings",
+    }
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["tool"] == "reprolint"
+    assert doc["ok"] is False
+    assert doc["files_checked"] == 1
+    assert doc["summary"] == {"RP002": 1}
+    assert doc["suppressed_count"] == 1
+    assert len(doc["findings"]) == 2
+    for entry in doc["findings"]:
+        assert set(entry) == {
+            "rule",
+            "name",
+            "message",
+            "path",
+            "line",
+            "col",
+            "suppressed",
+        }
+
+
+def test_render_json_is_deterministic(tmp_path):
+    result = _dirty_result(tmp_path)
+    first, second = render_json(result), render_json(result)
+    assert first == second
+    assert json.loads(first)["version"] == JSON_SCHEMA_VERSION
+
+
+def test_render_text_summary_lines(tmp_path):
+    result = _dirty_result(tmp_path)
+    text = render_text(result)
+    assert "mod.py:2:5: RP002" in text
+    assert "[RP002=1]" in text and "1 suppressed" in text
+    assert "(suppressed)" not in text
+    shown = render_text(result, show_suppressed=True)
+    assert "(suppressed)" in shown
+
+
+def test_parse_error_reported_as_rp000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    findings = lint_file(bad, root=tmp_path)
+    assert [f.rule for f in findings] == ["RP000"]
+    assert findings[0].name == "parse-error"
+    assert not findings[0].suppressed
+
+
+# ----------------------------------------------------------------------
+# the repo's own tree
+# ----------------------------------------------------------------------
+
+
+def test_src_tree_is_clean():
+    result = lint_paths([SRC_ROOT], root=SRC_ROOT)
+    assert result.ok, render_text(result)
+    assert result.files_checked > 50
+
+
+def test_src_tree_waiver_budget():
+    """The audited suppressions are exactly the ones the docs justify."""
+    result = lint_paths([SRC_ROOT], root=SRC_ROOT)
+    waivers = {(f.rule, f.path) for f in result.suppressed}
+    assert waivers == {
+        ("RP002", "repro/utils/timing.py"),
+        ("RP004", "repro/histogram/shared.py"),
+        ("RP004", "repro/inference/parallel.py"),
+    }
+    assert len(result.suppressed) == 5
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    good = tmp_path / "mod.py"
+    good.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(good)]) == 0
+    assert "reprolint: clean" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\na = time.time()\n", encoding="utf-8")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RP002" in out
+
+
+def test_cli_exit_two_on_unknown_code(tmp_path, capsys):
+    good = tmp_path / "mod.py"
+    good.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(good), "--select", "RP999"]) == 2
+    assert "RP999" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    assert main(["definitely/not/a/path"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_select_and_ignore(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\na = time.time()\n", encoding="utf-8")
+    assert main([str(bad), "--select", "RP001"]) == 0
+    assert main([str(bad), "--ignore", "RP002"]) == 0
+    assert main([str(bad), "--select", "RP002"]) == 1
+
+
+def test_cli_json_output_file(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\na = time.time()\n", encoding="utf-8")
+    report = tmp_path / "report.json"
+    assert main([str(bad), "--format", "json", "--output", str(report)]) == 1
+    capsys.readouterr()  # nothing useful on stdout when --output is set
+    doc = json.loads(report.read_text(encoding="utf-8"))
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["ok"] is False
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_CODES:
+        assert code in out
+
+
+def test_cli_lints_src_clean(capsys):
+    assert main([str(SRC_ROOT)]) == 0
+    assert "reprolint: clean" in capsys.readouterr().out
