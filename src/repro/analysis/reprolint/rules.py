@@ -395,11 +395,12 @@ class ImplicitDtype(Rule):
     name = "implicit-dtype"
     summary = (
         "np.zeros/empty/ones/full without dtype= in histogram/, "
-        "inference/, and tree/ kernel paths"
+        "inference/, tree/, and ps/ kernel paths"
     )
     invariant = (
         "explicit float64 accumulators (unbiased low-precision "
-        "aggregation and bit-identical reduce contracts)"
+        "aggregation, sparse-slab reconstruction, and bit-identical "
+        "reduce contracts)"
     )
 
     _ALLOCATORS = {
@@ -408,7 +409,7 @@ class ImplicitDtype(Rule):
         "numpy.ones": 1,
         "numpy.full": 2,
     }
-    _KERNEL_PACKAGES = frozenset({"histogram", "inference", "tree"})
+    _KERNEL_PACKAGES = frozenset({"histogram", "inference", "tree", "ps"})
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         parts = set(ctx.path_parts)
@@ -438,27 +439,32 @@ class PSSequenceToken(Rule):
     code = "RP006"
     name = "ps-seq-token"
     summary = (
-        "handle_push/push_row definitions take and use a seq parameter; "
-        "every call site forwards seq="
+        "handle_push/push_row (and the slab variants) take and use a "
+        "seq parameter; every call site forwards seq="
     )
     invariant = (
         "idempotent PS pushes under retry/duplication (PR 3 recovery: "
         "faulted runs stay bit-identical to fault-free runs)"
     )
 
+    #: Server-side handlers that must accept *and read* ``seq``.
+    _HANDLER_NAMES = ("handle_push", "handle_push_slab")
+    #: Client-side pushers that must accept ``seq`` to forward it.
+    _PUSHER_NAMES = ("push_row", "push_slab")
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         in_ps = "ps" in ctx.path_parts
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.FunctionDef) and in_ps:
-                if node.name == "handle_push":
+                if node.name in self._HANDLER_NAMES:
                     yield from self._check_handler_def(ctx, node)
-                elif node.name == "push_row":
+                elif node.name in self._PUSHER_NAMES:
                     yield from self._check_pusher_def(ctx, node)
             if isinstance(node, ast.Call):
                 func = node.func
                 if (
                     isinstance(func, ast.Attribute)
-                    and func.attr in ("handle_push", "push_row")
+                    and func.attr in (*self._HANDLER_NAMES, *self._PUSHER_NAMES)
                     and not _has_keyword(node, "seq")
                     and not _has_star_kwargs(node)
                 ):
@@ -476,7 +482,7 @@ class PSSequenceToken(Rule):
             yield self.finding(
                 ctx,
                 node,
-                "handle_push() without a seq parameter cannot deduplicate "
+                f"{node.name}() without a seq parameter cannot deduplicate "
                 "retried deliveries",
             )
             return
@@ -491,7 +497,7 @@ class PSSequenceToken(Rule):
             yield self.finding(
                 ctx,
                 node,
-                "handle_push() accepts seq but never checks it; the "
+                f"{node.name}() accepts seq but never checks it; the "
                 "idempotency token must gate the additive merge",
             )
 
@@ -502,8 +508,8 @@ class PSSequenceToken(Rule):
             yield self.finding(
                 ctx,
                 node,
-                "push_row() without a seq parameter cannot forward the "
-                "idempotency token to handle_push",
+                f"{node.name}() without a seq parameter cannot forward "
+                "the idempotency token to the server-side handler",
             )
 
     @staticmethod

@@ -28,6 +28,7 @@ from .boosting.gbdt import GBDT
 from .chaos import FaultPlan
 from .config import ClusterConfig, TrainConfig
 from .datasets import (
+    GridSpec,
     gender_like,
     load_libsvm,
     low_dim_like,
@@ -162,8 +163,28 @@ def cmd_train(args: argparse.Namespace) -> int:
         fault_plan = FaultPlan.load(args.fault_plan)
         label = fault_plan.name or args.fault_plan
         print(f"fault plan {label}: {len(fault_plan)} event(s)")
+    if args.grid and not args.system:
+        print(
+            "error: --grid requires --system (block sharding targets the "
+            "simulated cluster)",
+            file=sys.stderr,
+        )
+        return 2
     if args.system:
-        cluster = ClusterConfig(n_workers=args.workers, n_servers=args.servers)
+        grid = None
+        if args.grid:
+            spec = GridSpec.parse(args.grid)
+            grid = (spec.rows, spec.cols)
+            if args.workers != spec.n_blocks:
+                print(
+                    f"--grid {spec} implies {spec.n_blocks} workers; "
+                    f"overriding --workers {args.workers}"
+                )
+        cluster = ClusterConfig(
+            n_workers=grid[0] * grid[1] if grid else args.workers,
+            n_servers=args.servers,
+            grid=grid,
+        )
         result = train_distributed(
             args.system,
             data,
@@ -174,7 +195,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
         model = result.model
         print(
-            f"trained with {args.system} on {args.workers} simulated workers "
+            f"trained with {args.system} on {cluster.n_workers} simulated "
+            f"workers ({cluster.grid_shape[0]}x{cluster.grid_shape[1]} grid) "
             f"in {result.sim_seconds:.3f} simulated seconds "
             f"({result.breakdown.as_dict()})"
         )
@@ -296,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--workers", type=int, default=4)
     train.add_argument("--servers", type=int, default=4)
+    train.add_argument(
+        "--grid",
+        default=None,
+        metavar="ROWSxCOLS",
+        help="2-D worker grid for block-distributed training, e.g. 2x4 "
+        "(requires --system and --compression-bits 0; implies "
+        "--workers rows*cols)",
+    )
     train.add_argument("--compression-bits", type=int, default=0)
     train.add_argument(
         "--progress",

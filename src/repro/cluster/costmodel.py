@@ -134,6 +134,38 @@ def comm_steps(system: str, w: int) -> int:
     )
 
 
+def dense_histogram_bytes(n_features: int, n_bins: int) -> int:
+    """Wire bytes of one dense flat node histogram: ``2 * K * M`` float32.
+
+    The per-worker push size of row-sharded training (Section 4.3's
+    parameter layout) — what the Table 1 ``h`` stands for.
+    """
+    if n_features < 0 or n_bins < 1:
+        raise CommunicationError(
+            f"invalid histogram shape M={n_features}, K={n_bins}"
+        )
+    return 2 * n_features * n_bins * 4
+
+
+def sparse_slab_bytes(
+    n_present: int, n_bins: int, header_bytes: int = 16
+) -> int:
+    """Wire bytes of one sparse histogram slab (block-distributed push).
+
+    A slab ships a small header (stripe range + the block's exact
+    gradient sums) plus, per feature that actually has nonzeros in the
+    node, a 4-byte feature id and its ``2 * K`` float32 values.  Compare
+    with :func:`dense_histogram_bytes` over the stripe to see the
+    sparsity win.
+    """
+    if n_present < 0 or n_bins < 1 or header_bytes < 0:
+        raise CommunicationError(
+            f"invalid slab shape: present={n_present}, K={n_bins}, "
+            f"header={header_bytes}"
+        )
+    return header_bytes + n_present * (4 + 2 * n_bins * 4)
+
+
 def crossover_workers(
     system_a: str,
     system_b: str,

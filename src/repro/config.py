@@ -211,6 +211,12 @@ class ClusterConfig:
             so one straggler slows every synchronous phase — the
             sensitivity the authors' companion heterogeneity-aware PS
             work addresses.
+        grid: Optional 2-D worker grid ``(rows, cols)`` for
+            block-distributed training (row×feature blocks,
+            arXiv:1904.10522).  ``rows * cols`` must equal ``n_workers``;
+            worker ``r * cols + c`` holds row band ``r`` × feature stripe
+            ``c``.  ``None`` (the default) is plain row sharding,
+            equivalent to ``(n_workers, 1)``.
     """
 
     n_workers: int = 4
@@ -219,10 +225,28 @@ class ClusterConfig:
     colocated: bool = True
     loading_bytes_per_second: float = 200e6
     worker_speeds: tuple[float, ...] | None = None
+    grid: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         _require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
         _require(self.n_servers >= 1, f"n_servers must be >= 1, got {self.n_servers}")
+        if self.grid is not None:
+            grid = tuple(int(g) for g in self.grid)
+            object.__setattr__(self, "grid", grid)
+            _require(
+                len(grid) == 2,
+                f"grid must be (rows, cols), got {self.grid}",
+            )
+            rows, cols = grid
+            _require(
+                rows >= 1 and cols >= 1,
+                f"grid dimensions must be >= 1, got {rows}x{cols}",
+            )
+            _require(
+                rows * cols == self.n_workers,
+                f"grid {rows}x{cols} needs {rows * cols} workers but "
+                f"n_workers is {self.n_workers}",
+            )
         _require(
             self.loading_bytes_per_second > 0.0,
             f"loading_bytes_per_second must be > 0, got "
@@ -240,6 +264,13 @@ class ClusterConfig:
                 all(s > 0 for s in speeds),
                 f"worker_speeds must be positive, got {speeds}",
             )
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """The effective worker grid: ``grid`` or ``(n_workers, 1)``."""
+        if self.grid is None:
+            return (self.n_workers, 1)
+        return self.grid
 
     def speed_of(self, worker_id: int) -> float:
         """Relative speed of one worker (1.0 when unspecified)."""

@@ -11,7 +11,9 @@ This package provides:
 * synthetic generators that mimic each paper dataset's shape statistics.
 * a LibSVM-format reader/writer (the de-facto exchange format for sparse
   GBDT training data).
-* a row partitioner that shards a dataset over workers.
+* partitioners that shard a dataset over workers: by rows
+  (:func:`partition_rows`) or into an R×C grid of row×feature blocks
+  (:class:`BlockPartitioner`, the block-distributed layout).
 """
 
 from .sparse import CSRMatrix
@@ -26,7 +28,7 @@ from .synthetic import (
     low_dim_like,
 )
 from .loader import load_libsvm, save_libsvm
-from .partition import partition_rows
+from .partition import BlockPartitioner, DataBlock, GridSpec, partition_rows
 from .storage import StorageLevel, load_dataset, save_dataset
 
 __all__ = [
@@ -43,6 +45,9 @@ __all__ = [
     "load_libsvm",
     "save_libsvm",
     "partition_rows",
+    "BlockPartitioner",
+    "DataBlock",
+    "GridSpec",
     "StorageLevel",
     "load_dataset",
     "save_dataset",

@@ -75,6 +75,18 @@ class Dataset:
             self.X.take_rows(row_ids), self.y[row_ids], self.name, weights
         )
 
+    def slice_features(self, start: int, stop: int) -> "Dataset":
+        """Column-slice view: features ``[start, stop)``, all instances.
+
+        Labels and weights are shared (views), so a grid row's C blocks
+        cost one label array, not C.  The full range returns a dataset
+        whose ``X`` is ``self.X`` itself (zero-copy C=1 special case).
+        """
+        X = self.X.slice_cols(start, stop)
+        if X is self.X:
+            return self
+        return Dataset(X, self.y, f"{self.name}/cols{start}-{stop}", self.weights)
+
     def first_features(self, m: int) -> "Dataset":
         """Keep only the first ``m`` features (the paper's Gender-10K style
         prefix subsets, Section 7.3.4)."""

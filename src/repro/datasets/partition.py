@@ -1,29 +1,234 @@
-"""Row partitioning of a dataset over workers.
+"""Row and row×feature block partitioning of a dataset over workers.
 
 Step 1 of the core operation (Section 1): "Training dataset is partitioned
 into several shards, each of which is assigned to one worker."  MLlib,
 XGBoost, LightGBM's data-parallel mode, and DimBoost all partition by
-instances (rows); this module provides that partitioner.
+instances (rows); :func:`partition_rows` provides that partitioner.
+
+Block-distributed training (PAPERS.md, arXiv:1904.10522) generalizes the
+layout to an R×C grid of row×feature *blocks* so the feature dimension is
+no longer bounded by one worker's memory: worker ``(r, c)`` holds the rows
+of row-band ``r`` restricted to the features of column-stripe ``c``.
+:class:`BlockPartitioner` produces that grid; row sharding is exactly the
+``C = 1`` special case, which is how every pre-existing call site keeps
+working through the refactor.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import DataError
 from .dataset import Dataset
 
+__all__ = ["GridSpec", "DataBlock", "BlockPartitioner", "partition_rows"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Shape of the worker grid: R row-bands × C feature-stripes."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise DataError(
+                f"grid must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        """Total worker count R*C."""
+        return self.rows * self.cols
+
+    def block_id(self, grid_row: int, grid_col: int) -> int:
+        """Row-major worker id of block ``(grid_row, grid_col)``."""
+        if not (0 <= grid_row < self.rows and 0 <= grid_col < self.cols):
+            raise DataError(
+                f"block ({grid_row}, {grid_col}) outside grid {self.rows}x{self.cols}"
+            )
+        return grid_row * self.cols + grid_col
+
+    @classmethod
+    def parse(cls, text: str) -> "GridSpec":
+        """Parse ``"RxC"`` (as passed to ``--grid``) into a spec."""
+        parts = text.lower().split("x")
+        if len(parts) != 2:
+            raise DataError(f"grid must look like ROWSxCOLS, got {text!r}")
+        try:
+            rows, cols = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise DataError(f"grid must look like ROWSxCOLS, got {text!r}") from exc
+        return cls(rows, cols)
+
+    def __str__(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+
+@dataclass(frozen=True)
+class DataBlock:
+    """One row×feature block of the grid.
+
+    ``data`` holds the block's rows with feature ids rebased to the
+    stripe (global feature ``f`` appears as column ``f - col_lo``); the
+    global coordinates are kept alongside so consumers can map back.
+    """
+
+    grid_row: int
+    grid_col: int
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+    data: Dataset
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_hi - self.col_lo
+
+
+class BlockPartitioner:
+    """Partition a dataset into an R×C grid of row×feature blocks.
+
+    Both axes are cut with the same contiguous-linspace rule as the
+    original row partitioner: band/stripe sizes differ by at most one, and
+    blocks of a grid row concatenate (stripe order) back to the band, as
+    do bands (row order) to the input.  Blocks are materialized lazily in
+    row-major order via :attr:`blocks`.
+
+    Args:
+        dataset: Dataset to shard.
+        grid: Grid shape; ``rows`` must not exceed the instance count and
+            ``cols`` must not exceed the feature count.
+
+    Raises:
+        DataError: On an empty dataset or a grid too fine for it.
+    """
+
+    def __init__(self, dataset: Dataset, grid: GridSpec) -> None:
+        if dataset.n_instances == 0:
+            raise DataError(
+                f"cannot partition dataset {dataset.name!r} with zero instances"
+            )
+        if grid.rows > dataset.n_instances:
+            raise DataError(
+                f"cannot partition {dataset.n_instances} instances over "
+                f"{grid.rows} workers"
+            )
+        # C=1 is the plain row shard (full-range column slice is a no-op),
+        # so it stays legal even for degenerate zero-feature datasets.
+        if grid.cols > 1 and grid.cols > dataset.n_features:
+            raise DataError(
+                f"cannot partition {dataset.n_features} features over "
+                f"{grid.cols} column stripes"
+            )
+        self.dataset = dataset
+        self.grid = grid
+        self.row_boundaries = np.linspace(
+            0, dataset.n_instances, grid.rows + 1
+        ).astype(np.int64)
+        self.col_boundaries = np.linspace(
+            0, dataset.n_features, grid.cols + 1
+        ).astype(np.int64)
+        self._blocks: list[DataBlock] | None = None
+
+    # ------------------------------------------------------------------
+    # coordinate lookups
+    # ------------------------------------------------------------------
+
+    def grid_row_of(self, row: int) -> int:
+        """Row-band index holding instance ``row``."""
+        if not 0 <= row < self.dataset.n_instances:
+            raise DataError(
+                f"row {row} out of range [0, {self.dataset.n_instances})"
+            )
+        return int(np.searchsorted(self.row_boundaries, row, side="right")) - 1
+
+    def grid_col_of(self, feature: int) -> int:
+        """Column-stripe index holding ``feature``."""
+        if not 0 <= feature < self.dataset.n_features:
+            raise DataError(
+                f"feature {feature} out of range [0, {self.dataset.n_features})"
+            )
+        return int(np.searchsorted(self.col_boundaries, feature, side="right")) - 1
+
+    def block_of(self, row: int, feature: int) -> tuple[int, int]:
+        """The unique ``(grid_row, grid_col)`` holding ``(row, feature)``."""
+        return self.grid_row_of(row), self.grid_col_of(feature)
+
+    def stripe(self, grid_col: int) -> tuple[int, int]:
+        """Global feature range ``[lo, hi)`` of column stripe ``grid_col``."""
+        if not 0 <= grid_col < self.grid.cols:
+            raise DataError(f"grid column {grid_col} out of range [0, {self.grid.cols})")
+        return int(self.col_boundaries[grid_col]), int(self.col_boundaries[grid_col + 1])
+
+    def band(self, grid_row: int) -> tuple[int, int]:
+        """Global row range ``[lo, hi)`` of row band ``grid_row``."""
+        if not 0 <= grid_row < self.grid.rows:
+            raise DataError(f"grid row {grid_row} out of range [0, {self.grid.rows})")
+        return int(self.row_boundaries[grid_row]), int(self.row_boundaries[grid_row + 1])
+
+    # ------------------------------------------------------------------
+    # block materialization
+    # ------------------------------------------------------------------
+
+    def row_shard(self, grid_row: int) -> Dataset:
+        """Row band ``grid_row`` over *all* features, named like the
+        original row shards (``{name}/shard{r}``)."""
+        lo, hi = self.band(grid_row)
+        dataset = self.dataset
+        return Dataset(
+            dataset.X.slice_rows(lo, hi),
+            dataset.y[lo:hi],
+            f"{dataset.name}/shard{grid_row}",
+            dataset.weights[lo:hi] if dataset.weights is not None else None,
+        )
+
+    def block(self, grid_row: int, grid_col: int) -> DataBlock:
+        """Materialize block ``(grid_row, grid_col)``."""
+        row_lo, row_hi = self.band(grid_row)
+        col_lo, col_hi = self.stripe(grid_col)
+        shard = self.row_shard(grid_row)
+        data = shard.slice_features(col_lo, col_hi)
+        return DataBlock(
+            grid_row=grid_row,
+            grid_col=grid_col,
+            row_lo=row_lo,
+            row_hi=row_hi,
+            col_lo=col_lo,
+            col_hi=col_hi,
+            data=data,
+        )
+
+    @property
+    def blocks(self) -> list[DataBlock]:
+        """All R*C blocks in row-major (worker id) order, cached."""
+        if self._blocks is None:
+            self._blocks = [
+                self.block(r, c)
+                for r in range(self.grid.rows)
+                for c in range(self.grid.cols)
+            ]
+        return self._blocks
+
 
 def partition_rows(dataset: Dataset, n_workers: int) -> list[Dataset]:
     """Split ``dataset`` into ``n_workers`` contiguous row shards.
 
-    Shard sizes differ by at most one instance.  Contiguous slicing keeps
-    the shards cheap (array views) and deterministic; the synthetic
-    generators already produce rows in random order, so contiguous shards
-    are statistically balanced.
+    The C=1 column of :class:`BlockPartitioner`: shard sizes differ by at
+    most one instance, contiguous slicing keeps the shards cheap (array
+    views) and deterministic, and the synthetic generators already produce
+    rows in random order so contiguous shards are statistically balanced.
 
     Args:
-        dataset: Dataset to shard.
+        dataset: Dataset to shard; must have at least one instance.
         n_workers: Number of shards; must not exceed the instance count.
 
     Returns:
@@ -31,24 +236,9 @@ def partition_rows(dataset: Dataset, n_workers: int) -> list[Dataset]:
         to the input.
 
     Raises:
-        DataError: If ``n_workers`` is invalid for the dataset.
+        DataError: If ``dataset`` is empty or ``n_workers`` is invalid.
     """
     if n_workers < 1:
         raise DataError(f"n_workers must be >= 1, got {n_workers}")
-    if n_workers > dataset.n_instances:
-        raise DataError(
-            f"cannot partition {dataset.n_instances} instances over "
-            f"{n_workers} workers"
-        )
-    boundaries = np.linspace(0, dataset.n_instances, n_workers + 1).astype(np.int64)
-    shards = []
-    for k in range(n_workers):
-        start, stop = int(boundaries[k]), int(boundaries[k + 1])
-        shard = Dataset(
-            dataset.X.slice_rows(start, stop),
-            dataset.y[start:stop],
-            f"{dataset.name}/shard{k}",
-            dataset.weights[start:stop] if dataset.weights is not None else None,
-        )
-        shards.append(shard)
-    return shards
+    partitioner = BlockPartitioner(dataset, GridSpec(n_workers, 1))
+    return [partitioner.row_shard(r) for r in range(n_workers)]

@@ -203,6 +203,33 @@ class CSRMatrix:
             indptr, self.indices[lo:hi], self.data[lo:hi], (stop - start, self.n_cols)
         )
 
+    def slice_cols(self, start: int, stop: int) -> "CSRMatrix":
+        """Return columns ``[start, stop)`` with indices rebased to 0.
+
+        The full range returns ``self`` (zero-copy — the common C=1 grid
+        column).  A proper sub-range needs one vectorized gather: column
+        indices are sorted within each row, so the kept nonzeros of a row
+        stay contiguous, but CSR cannot *view* per-row sub-segments — the
+        three arrays are rebuilt in a single masked pass, O(nnz) total.
+        """
+        if not 0 <= start <= stop <= self.n_cols:
+            raise DataError(
+                f"slice_cols range [{start}, {stop}) invalid for {self.n_cols} columns"
+            )
+        if start == 0 and stop == self.n_cols:
+            return self
+        keep = (self.indices >= start) & (self.indices < stop)
+        row_of = np.repeat(np.arange(self.n_rows, dtype=np.int64), self.row_nnz())
+        kept_per_row = np.bincount(row_of[keep], minlength=self.n_rows)
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        return CSRMatrix(
+            indptr,
+            self.indices[keep] - np.int32(start),
+            self.data[keep],
+            (self.n_rows, stop - start),
+        )
+
     # ------------------------------------------------------------------
     # columns and dense conversion
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from ..config import ClusterConfig, TrainConfig
 from ..errors import ConfigError, TrainingError
 from ..ps.group import ParameterServerGroup
 from ..ps.partitioner import Partition
+from ..ps.slab import SlabLayout, SparseSlab
 from ..sketch.candidates import CandidateSet
 from ..tree.split import SplitDecision, best_split_in_range, combine_shard_decisions
 from ..utils.rng import spawn_rng
@@ -84,6 +85,11 @@ class AggregationBackend(ABC):
     #: (Section 5.1: DimBoost is the first system to exploit sparsity
     #: there, so it alone defaults to "sparse").
     build_mode: str = "dense"
+    #: Whether the backend accepts sparse histogram slabs — the
+    #: block-distributed (feature-striped) aggregation path.  Only PS
+    #: backends can: the server reconstructs absent features from the
+    #: slab sums, which collectives have no place to do.
+    supports_slab_push: bool = False
 
     def __init__(
         self,
@@ -121,6 +127,24 @@ class AggregationBackend(ABC):
         self, node: int, local_flats: list[np.ndarray], clock: SimClock
     ) -> None:
         """Merge one node's per-worker flat histograms."""
+
+    def aggregate_node_slabs(
+        self,
+        node: int,
+        slabs: list[tuple[int, SparseSlab]],
+        clock: SimClock,
+    ) -> None:
+        """Merge one node's per-block sparse slabs (2-D sharding path).
+
+        ``slabs`` holds ``(block_id, slab)`` pairs in block (worker-id)
+        order.  Backends that cannot reconstruct absent features —
+        everything but the parameter servers — reject the call.
+        """
+        raise TrainingError(
+            f"backend {self.name!r} does not support sparse slab "
+            f"aggregation; feature-striped grids (cols > 1) need a "
+            f"parameter-server backend (tencentboost, dimboost)"
+        )
 
     @abstractmethod
     def find_splits(
@@ -294,6 +318,41 @@ class LightGBMBackend(AggregationBackend):
         return decisions
 
 
+def _ps_aggregate_slabs(
+    backend: "AggregationBackend", node: int, slabs, clock: SimClock
+) -> None:
+    """Shared PS slab aggregation: push every block's slab, charge wires.
+
+    Pushes run in block (worker-id) order so the servers accumulate each
+    feature's histogram in the same addend order as the dense row-sharded
+    pushes — the bit-identity contract.  The batched scatter is charged
+    with the *actual* average slab bytes, so sparsity directly shrinks
+    the transfer term of the cost model.
+    """
+    if not slabs:
+        raise TrainingError(f"node {node}: no slabs to aggregate")
+    total_bytes = 0
+    for block_id, slab in slabs:
+        stats = backend.group.push_slab(
+            "grad_hist",
+            node,
+            slab,
+            seq=(backend._tree_index, block_id),
+            worker=block_id,
+        )
+        total_bytes += stats.bytes_up
+    clock.advance_comm(
+        general_ps_push_time(
+            len(slabs),
+            backend.cluster.n_servers,
+            total_bytes / len(slabs),
+            backend.cost,
+            backend.cluster.colocated,
+        ),
+        phase="FIND_SPLIT",
+    )
+
+
 class TencentBoostBackend(AggregationBackend):
     """Parameter server without DimBoost's FIND_SPLIT optimizations.
 
@@ -311,6 +370,7 @@ class TencentBoostBackend(AggregationBackend):
 
     name = "tencentboost"
     build_mode = "dense"
+    supports_slab_push = True
 
     def __init__(self, cluster, config, candidates, fabric=None) -> None:
         super().__init__(cluster, config, candidates)
@@ -319,6 +379,9 @@ class TencentBoostBackend(AggregationBackend):
             "grad_hist",
             self.flat_len,
             align=2 * self.n_bins,
+            layout=SlabLayout(
+                self.n_features, self.n_bins, candidates.zero_bins
+            ),
         )
 
     def aggregate_node(self, node, local_flats, clock) -> None:
@@ -340,6 +403,9 @@ class TencentBoostBackend(AggregationBackend):
             ),
             phase="FIND_SPLIT",
         )
+
+    def aggregate_node_slabs(self, node, slabs, clock) -> None:
+        _ps_aggregate_slabs(self, node, slabs, clock)
 
     def find_splits(self, nodes, feature_valid, clock):
         decisions: dict[int, SplitDecision | None] = {}
@@ -388,6 +454,7 @@ class DimBoostBackend(AggregationBackend):
 
     name = "dimboost"
     build_mode = "sparse"  # sparsity-aware histogram construction (C3)
+    supports_slab_push = True
 
     def __init__(
         self,
@@ -402,7 +469,14 @@ class DimBoostBackend(AggregationBackend):
     ) -> None:
         super().__init__(cluster, config, candidates)
         self.group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
-        self.group.register("grad_hist", self.flat_len, align=2 * self.n_bins)
+        self.group.register(
+            "grad_hist",
+            self.flat_len,
+            align=2 * self.n_bins,
+            layout=SlabLayout(
+                self.n_features, self.n_bins, candidates.zero_bins
+            ),
+        )
         self.use_scheduler = use_scheduler
         self.two_phase = two_phase
         self.compression_bits = (
@@ -499,6 +573,17 @@ class DimBoostBackend(AggregationBackend):
             phase="FIND_SPLIT",
         )
         self._push_bytes[node] = pushed
+
+    def aggregate_node_slabs(self, node, slabs, clock) -> None:
+        # Slabs never carry compressed payloads: the engine rejects
+        # compression with feature-striped grids (the per-worker rng
+        # streams would break bit-identity with the row-sharded run).
+        if self.compression_bits:
+            raise TrainingError(
+                "sparse slab aggregation is incompatible with histogram "
+                "compression; set compression_bits=0 for block grids"
+            )
+        _ps_aggregate_slabs(self, node, slabs, clock)
 
     def _make_udf(self, feature_valid: np.ndarray | None, node: int):
         """Server-side split UDF over one stored feature range of ``node``."""

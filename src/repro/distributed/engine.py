@@ -43,15 +43,18 @@ from ..chaos import (
     FaultPlan,
     RoundRecovery,
 )
+from ..cluster.collectives import point_to_point_time
 from ..cluster.costmodel import CostParams
 from ..cluster.simclock import SimClock
 from ..config import ClusterConfig, TrainConfig
 from ..datasets.dataset import Dataset
-from ..datasets.partition import partition_rows
+from ..datasets.partition import BlockPartitioner, DataBlock, GridSpec
+from ..errors import ConfigError
 from ..histogram.binned import BinnedShard
 from ..histogram.buffers import HistogramBufferPool
 from ..histogram.index import NodeInstanceIndex
 from ..ps.master import Master, WorkerPhase
+from ..ps.slab import SparseSlab, slab_from_flat
 from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
 from ..runtime.hooks import (
     CallbackList,
@@ -127,10 +130,20 @@ class DistributedResult:
 class _ShardedGrowthStrategy(TreeGrowthStrategy):
     """The distributed per-round operations behind the shared loop.
 
-    Holds the per-worker shard state (binned rows, labels, raw scores)
-    and executes each phase of the Section 4.4 cycle inside a
+    Holds the per-block shard state (binned rows) and the per-grid-row
+    training state (labels, raw scores, node indexes) and executes each
+    phase of the Section 4.4 cycle inside a
     :class:`~repro.runtime.phases.PhaseStage`, delegating histogram
     aggregation and split finding to the system's backend.
+
+    The worker layout is an R×C grid (``grid``): worker ``r * C + c``
+    holds row band ``r`` × feature stripe ``c``.  With ``C == 1`` — the
+    plain row sharding every pre-existing configuration uses — blocks and
+    grid rows coincide and the dense aggregation path runs unchanged.
+    With ``C > 1`` the C blocks of a grid row share the row band's
+    labels/gradients (replicated compute, charged to every block) and
+    aggregation goes through sparse slabs
+    (:meth:`AggregationBackend.aggregate_node_slabs`).
     """
 
     def __init__(
@@ -150,6 +163,8 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         runner: PhaseRunner,
         loading: float,
         n_features: int,
+        grid: tuple[int, int],
+        col_boundaries: np.ndarray,
         chaos: ChaosRuntime | None = None,
     ) -> None:
         self.cluster = cluster
@@ -166,6 +181,8 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         self.runner = runner
         self.loading = loading
         self.n_features = n_features
+        self.grid = grid
+        self.col_boundaries = np.asarray(col_boundaries, dtype=np.int64)
         self.chaos = chaos
         self._root_totals = (0.0, 0.0)
         self._leaf_assignments: list[np.ndarray] = []
@@ -190,14 +207,21 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
 
     def compute_gradients(self, tree_index: int):
         cluster = self.cluster
+        _, grid_cols = self.grid
         with self.runner.stage(WorkerPhase.NEW_TREE, tree_index) as stage:
             timer = stage.worker_timer()
             grads, hesses = [], []
-            for wid, (y, raw, w) in enumerate(
+            for r, (y, raw, w) in enumerate(
                 zip(self.labels, self.raws, self.weights)
             ):
-                with timer.measure(wid):
+                sw = Stopwatch()
+                with sw:
                     g, h = self.loss.gradients(y, raw, w)
+                # Every block of the grid row recomputes the row band's
+                # gradients from its replicated labels/scores, so each is
+                # charged the measured seconds.
+                for c in range(grid_cols):
+                    timer.add(r * grid_cols + c, sw.total)
                 grads.append(g)
                 hesses.append(h)
             self._barrier_faults(timer)
@@ -221,10 +245,13 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         grads, hesses = gradients
         config = self.config
         runner = self.runner
+        grid_rows, grid_cols = self.grid
         tree = RegressionTree(config.max_depth)
+        # One node-to-instance index per grid row: the C blocks of a row
+        # band hold the same instances, so they share its index.
         indexes = [
-            NodeInstanceIndex(shard.n_rows, config.max_nodes)
-            for shard in self.shards
+            NodeInstanceIndex(len(self.raws[r]), config.max_nodes)
+            for r in range(grid_rows)
         ]
         node_totals: dict[int, tuple[float, float]] = {0: self._root_totals}
 
@@ -250,10 +277,18 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
             with runner.stage(WorkerPhase.BUILD_HISTOGRAM, tree_index) as stage:
                 timer = stage.worker_timer()
                 for node in active:
-                    flats = self._build_node_histograms(
-                        indexes, grads, hesses, node, timer
-                    )
-                    self.backend.aggregate_node(node, flats, self.clock)
+                    if grid_cols == 1:
+                        flats = self._build_node_histograms(
+                            indexes, grads, hesses, node, timer
+                        )
+                        self.backend.aggregate_node(node, flats, self.clock)
+                    else:
+                        slabs = self._build_node_slabs(
+                            indexes, grads, hesses, node, timer
+                        )
+                        self.backend.aggregate_node_slabs(
+                            node, slabs, self.clock
+                        )
                 self._barrier_faults(timer)
                 stage.barrier(timer)
 
@@ -266,6 +301,7 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
             with runner.stage(WorkerPhase.SPLIT_TREE, tree_index) as stage:
                 timer = stage.worker_timer()
                 next_active: list[int] = []
+                broadcast_seconds = 0.0
                 for node in active:
                     decision = decisions.get(node)
                     if decision is None or decision.gain <= config.min_split_gain:
@@ -285,32 +321,58 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                     )
                     node_totals[left] = (decision.left_grad, decision.left_hess)
                     node_totals[right] = (decision.right_grad, decision.right_hess)
-                    for wid, shard in enumerate(self.shards):
-                        rows = indexes[wid].rows_of(node)
-                        with timer.measure(wid):
-                            goes_left = shard.split_mask(
-                                rows, decision.feature, decision.bucket
+                    # Only the stripe owning the split feature can evaluate
+                    # the predicate; with C > 1 its blocks broadcast the
+                    # go-left bitmaps to their row peers (grid rows move in
+                    # parallel, so the slowest row's bitmap is charged).
+                    owner_col = (
+                        int(
+                            np.searchsorted(
+                                self.col_boundaries,
+                                decision.feature,
+                                side="right",
                             )
-                            indexes[wid].split(node, goes_left)
+                        )
+                        - 1
+                    )
+                    local_feature = decision.feature - int(
+                        self.col_boundaries[owner_col]
+                    )
+                    max_rows = 0
+                    for r in range(grid_rows):
+                        wid = r * grid_cols + owner_col
+                        rows = indexes[r].rows_of(node)
+                        max_rows = max(max_rows, len(rows))
+                        with timer.measure(wid):
+                            goes_left = self.shards[wid].split_mask(
+                                rows, local_feature, decision.bucket
+                            )
+                            indexes[r].split(node, goes_left)
+                    if grid_cols > 1:
+                        broadcast_seconds += (
+                            grid_cols - 1
+                        ) * point_to_point_time((max_rows + 7) // 8, self.cost)
                     next_active.extend((left, right))
                 self._barrier_faults(timer)
                 stage.barrier(timer)
+                if broadcast_seconds:
+                    stage.charge_comm(broadcast_seconds)
             active = next_active
 
-        # Leaf assignment per worker from its index (free predictions).
+        # Leaf assignment per grid row from its index (free predictions).
         self._leaf_assignments = []
-        for wid, shard in enumerate(self.shards):
-            assignment = np.zeros(shard.n_rows, dtype=np.int64)
+        for r in range(grid_rows):
+            assignment = np.zeros(len(self.raws[r]), dtype=np.int64)
             for node in range(tree.max_nodes):
-                if tree.is_leaf(node) and indexes[wid].has_node(node):
-                    assignment[indexes[wid].rows_of(node)] = node
+                if tree.is_leaf(node) and indexes[r].has_node(node):
+                    assignment[indexes[r].rows_of(node)] = node
             self._leaf_assignments.append(assignment)
         self.backend.end_tree(self.clock)
         return tree
 
     def update_scores(self, tree_index: int, grown: RegressionTree) -> None:
-        for wid in range(self.cluster.n_workers):
-            self.raws[wid] += grown.weight[self._leaf_assignments[wid]]
+        for r in range(len(self.raws)):
+            self.raws[r] += grown.weight[self._leaf_assignments[r]]
 
     def finish_round(self, tree_index: int, grown: RegressionTree) -> RoundRecord:
         """Global train loss/error (observability only; not charged)."""
@@ -354,6 +416,56 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
             # buffers can be recycled for the next node.
             self.build_strategy.release(histogram)
         return flats
+
+    def _build_node_slabs(
+        self,
+        indexes: list[NodeInstanceIndex],
+        grads: list[np.ndarray],
+        hesses: list[np.ndarray],
+        node: int,
+        timer,
+    ) -> list[tuple[int, SparseSlab]]:
+        """One node's sparse slabs, per block in worker-id order.
+
+        Each block builds only its stripe's histogram and ships only the
+        stripe features that have nonzeros among the node's rows.  The
+        gradient sums are recomputed with the builder's exact expression
+        so the server-side reconstruction of absent features is bitwise
+        identical to the dense push.
+        """
+        grid_rows, grid_cols = self.grid
+        slabs: list[tuple[int, SparseSlab]] = []
+        for r in range(grid_rows):
+            rows = indexes[r].rows_of(node)
+            grad, hess = grads[r], hesses[r]
+            sum_g = float(grad[rows].sum())
+            sum_h = float(hess[rows].sum())
+            for c in range(grid_cols):
+                wid = r * grid_cols + c
+                self._site("histogram_build", wid, timer)
+                shard = self.shards[wid]
+                histogram, seconds = self.build_strategy.build(
+                    shard, rows, grad, hess
+                )
+                timer.add(wid, seconds)
+                positions = shard.positions_of_rows(rows)
+                present = (
+                    np.unique(shard.features[positions])
+                    if len(positions)
+                    else np.empty(0, dtype=np.int64)
+                )
+                slab = slab_from_flat(
+                    histogram.to_flat_feature_major(),
+                    present,
+                    int(self.col_boundaries[c]),
+                    int(self.col_boundaries[c + 1]),
+                    shard.n_bins,
+                    sum_g,
+                    sum_h,
+                )
+                self.build_strategy.release(histogram)
+                slabs.append((wid, slab))
+        return slabs
 
 
 class DistributedGBDT:
@@ -456,18 +568,25 @@ class DistributedGBDT:
         runner = PhaseRunner(hooks, master=master, clock=clock, cluster=cluster)
         hooks.on_fit_start(config.n_trees)
 
-        # DATA PARTITIONING + loading: shard bytes over the ingest rate,
-        # workers load in parallel (max shard).
-        shards_data = partition_rows(train, cluster.n_workers)
-        loading = (
-            max(s.X.nbytes for s in shards_data)
-            / cluster.loading_bytes_per_second
+        # DATA PARTITIONING + loading: block bytes over the ingest rate,
+        # workers load in parallel (max block).  The R×C grid defaults to
+        # (n_workers, 1) — plain row sharding.
+        grid_rows, grid_cols = cluster.grid_shape
+        partitioner = BlockPartitioner(train, GridSpec(grid_rows, grid_cols))
+        shards_data = [partitioner.row_shard(r) for r in range(grid_rows)]
+        blocks: list[DataBlock] | None = (
+            partitioner.blocks if grid_cols > 1 else None
         )
+        loading = (
+            max(b.data.X.nbytes for b in blocks)
+            if blocks is not None
+            else max(s.X.nbytes for s in shards_data)
+        ) / cluster.loading_bytes_per_second
 
         # CREATE_SKETCH / PULL_SKETCH.
         with runner.stage(WorkerPhase.CREATE_SKETCH):
             candidates, sketch_bytes = self._propose_candidates(
-                train, shards_data, clock
+                train, shards_data, clock, blocks
             )
         with runner.stage(WorkerPhase.PULL_SKETCH) as stage:
             # Pull of the merged sketches by every worker.
@@ -482,12 +601,36 @@ class DistributedGBDT:
         backend = make_backend(
             self.system, cluster, config, candidates, **backend_kwargs
         )
+        if grid_cols > 1:
+            if not backend.supports_slab_push:
+                raise ConfigError(
+                    f"grid {grid_rows}x{grid_cols} needs a backend with "
+                    f"sparse slab aggregation; {self.system!r} has none "
+                    f"(use a PS backend: tencentboost, dimboost)"
+                )
+            if getattr(backend, "compression_bits", 0):
+                raise ConfigError(
+                    "histogram compression is incompatible with "
+                    "feature-striped grids (cols > 1): the per-worker "
+                    "rounding streams would break bit-identity with the "
+                    "row-sharded run; set compression_bits=0"
+                )
         build_strategy = self._resolve_build_strategy(backend)
 
-        # Pre-bucketize every shard (part of loading/ETL; measured).
+        # Pre-bucketize every block (part of loading/ETL; measured).  A
+        # block bins against its stripe's candidate slice, so stripe-local
+        # bucket ids equal the global ones feature for feature.
         etl = Stopwatch()
         with etl:
-            shards = [BinnedShard(s.X, candidates) for s in shards_data]
+            if blocks is not None:
+                shards = [
+                    BinnedShard(
+                        b.data.X, candidates.feature_range(b.col_lo, b.col_hi)
+                    )
+                    for b in blocks
+                ]
+            else:
+                shards = [BinnedShard(s.X, candidates) for s in shards_data]
         loading += etl.total / cluster.n_workers
 
         labels = [np.asarray(s.y, dtype=np.float64) for s in shards_data]
@@ -495,7 +638,7 @@ class DistributedGBDT:
             s.weights if s.weights is not None else None for s in shards_data
         ]
         base = loss.base_score(train.y, train.weights)
-        raws = [np.full(s.n_rows, base, dtype=np.float64) for s in shards]
+        raws = [np.full(s.n_instances, base, dtype=np.float64) for s in shards_data]
 
         strategy = _ShardedGrowthStrategy(
             cluster=cluster,
@@ -512,6 +655,8 @@ class DistributedGBDT:
             runner=runner,
             loading=loading,
             n_features=train.n_features,
+            grid=(grid_rows, grid_cols),
+            col_boundaries=partitioner.col_boundaries,
             chaos=chaos,
         )
         recovery = None
@@ -614,13 +759,18 @@ class DistributedGBDT:
         train: Dataset,
         shards_data: list[Dataset],
         clock: SimClock,
+        blocks: "list[DataBlock] | None" = None,
     ) -> tuple[CandidateSet, float]:
         """Candidate proposal with the sketch *push* charged.
 
         Returns the candidates plus the per-worker sketch wire bytes; the
         caller charges the merged-sketch pull inside the PULL_SKETCH
         stage.  The wire cost is the same for both paths: every worker
-        pushes one summary per feature and pulls the merged ones back.
+        pushes one summary per feature it holds and pulls the merged ones
+        back.  With a feature-striped grid (``blocks``), each block
+        sketches only its stripe's columns; per-feature merging down a
+        stripe's grid rows produces the same merged sketch as the
+        row-sharded merge of the same rows, so candidates are identical.
         """
         config = self.config
         cluster = self.cluster
@@ -638,10 +788,17 @@ class DistributedGBDT:
             )
 
         if not self.distributed_sketch:
-            # Exact path: charge the modelled summary size per feature.
+            # Exact path: charge the modelled summary size for the widest
+            # per-worker feature range (the whole row when C == 1, the
+            # widest stripe otherwise).
             entries_per_sketch = int(1.0 / (2.0 * config.sketch_eps)) + 2
+            per_push_features = (
+                max(b.n_cols for b in blocks)
+                if blocks is not None
+                else train.n_features
+            )
             sketch_bytes = (
-                train.n_features
+                per_push_features
                 * entries_per_sketch
                 * cluster.network.sketch_entry_bytes
             )
@@ -653,30 +810,62 @@ class DistributedGBDT:
 
         per_worker_seconds = []
         per_worker_bytes = []
-        merged: list[GKSketch] | None = None
-        for shard in shards_data:
-            sw = Stopwatch()
-            with sw:
-                local = sketch_columns(
-                    shard.X.indptr,
-                    shard.X.indices,
-                    shard.X.data,
-                    shard.n_features,
-                    eps=config.sketch_eps / 2.0,
-                )
-            per_worker_seconds.append(sw.total)
-            per_worker_bytes.append(sum(sk.wire_bytes for sk in local))
-            if merged is None:
-                merged = local
-            else:
-                merged = [a.merge(b) for a, b in zip(merged, local)]
+        if blocks is None:
+            merged: list[GKSketch] | None = None
+            for shard in shards_data:
+                sw = Stopwatch()
+                with sw:
+                    local = sketch_columns(
+                        shard.X.indptr,
+                        shard.X.indices,
+                        shard.X.data,
+                        shard.n_features,
+                        eps=config.sketch_eps / 2.0,
+                    )
+                per_worker_seconds.append(sw.total)
+                per_worker_bytes.append(sum(sk.wire_bytes for sk in local))
+                if merged is None:
+                    merged = local
+                else:
+                    merged = [a.merge(b) for a, b in zip(merged, local)]
+            assert merged is not None  # n_workers >= 1
+        else:
+            # Block path: sketch each block's stripe columns; merge down
+            # every stripe's grid rows (in row order, matching the
+            # row-sharded merge order), then concatenate the stripes.
+            per_stripe: dict[int, list[GKSketch]] = {}
+            per_worker_seconds = [0.0] * len(blocks)
+            per_worker_bytes = [0] * len(blocks)
+            for wid, block in enumerate(blocks):
+                sw = Stopwatch()
+                with sw:
+                    local = sketch_columns(
+                        block.data.X.indptr,
+                        block.data.X.indices,
+                        block.data.X.data,
+                        block.n_cols,
+                        eps=config.sketch_eps / 2.0,
+                    )
+                per_worker_seconds[wid] = sw.total
+                per_worker_bytes[wid] = sum(sk.wire_bytes for sk in local)
+                stripe = per_stripe.get(block.grid_col)
+                if stripe is None:
+                    per_stripe[block.grid_col] = local
+                else:
+                    per_stripe[block.grid_col] = [
+                        a.merge(b) for a, b in zip(stripe, local)
+                    ]
+            merged = [
+                sk
+                for c in sorted(per_stripe)
+                for sk in per_stripe[c]
+            ]
         # Real wire accounting: what a worker's serialized sketches weigh.
         sketch_bytes = max(per_worker_bytes)
         charge_sketch_push(sketch_bytes)
         clock.barrier(
             scale_by_speeds(per_worker_seconds, cluster), phase="CREATE_SKETCH"
         )
-        assert merged is not None  # n_workers >= 1
         return (
             propose_candidates_from_sketches(merged, config.n_split_candidates),
             sketch_bytes,

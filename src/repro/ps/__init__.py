@@ -17,12 +17,17 @@ This package implements the server side:
   pushes/pulls to shards, handles low-precision decode on the server, and
   accounts wire bytes for the simulated clock.
 * :class:`Master` — phase barriers and health bookkeeping (Section 4.2).
+* :class:`SparseSlab` / :class:`SlabLayout` — the sparse histogram wire
+  format of block-distributed 2-D sharding (arXiv:1904.10522): only
+  non-empty feature histograms travel, servers reconstruct the rest from
+  the block's gradient sums.
 """
 
 from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
 from .group import ParameterServerGroup, TransferStats
 from .master import Master, WorkerHealth, WorkerPhase
+from .slab import SlabLayout, SparseSlab, slab_from_flat
 
 __all__ = [
     "Partition",
@@ -34,4 +39,7 @@ __all__ = [
     "Master",
     "WorkerHealth",
     "WorkerPhase",
+    "SlabLayout",
+    "SparseSlab",
+    "slab_from_flat",
 ]

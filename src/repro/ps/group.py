@@ -26,6 +26,7 @@ from ..compression.lowprec import (
 from ..errors import PSError
 from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
+from .slab import SlabLayout, SparseSlab
 
 
 @dataclass
@@ -70,6 +71,7 @@ class ParameterServerGroup:
             raise PSError(f"n_servers must be >= 1, got {n_servers}")
         self.servers = [PSServer(sid) for sid in range(n_servers)]
         self._partitioners: dict[str, VectorPartitioner] = {}
+        self._layouts: dict[str, SlabLayout] = {}
         self._salt = partition_salt
         self.fabric = fabric
 
@@ -95,22 +97,39 @@ class ParameterServerGroup:
         row_length: int,
         n_partitions: int | None = None,
         align: int = 1,
+        layout: SlabLayout | None = None,
     ) -> VectorPartitioner:
         """Register a (row-organized) parameter of ``row_length`` elements.
 
         ``align`` forces range boundaries onto multiples of that many
         elements (e.g. ``2 * n_bins`` so whole features stay on one
-        server).  Returns the partitioner so callers can map ranges.
+        server).  ``layout`` declares the row a per-feature histogram and
+        enables the sparse slab push path (:meth:`push_slab`); it implies
+        feature-aligned ranges.  Returns the partitioner so callers can
+        map ranges.
         """
         if name in self._partitioners:
             raise PSError(f"parameter {name!r} already registered")
+        if layout is not None:
+            if layout.row_length != row_length:
+                raise PSError(
+                    f"layout row length {layout.row_length} does not match "
+                    f"registered length {row_length}"
+                )
+            if align % layout.feature_width != 0:
+                raise PSError(
+                    f"slab layout needs feature-aligned ranges: align "
+                    f"{align} is not a multiple of {layout.feature_width}"
+                )
         partitioner = VectorPartitioner(
             row_length, self.n_servers, n_partitions, salt=self._salt, align=align
         )
         self._partitioners[name] = partitioner
+        if layout is not None:
+            self._layouts[name] = layout
         for server in self.servers:
             hosted = partitioner.partitions_on_server(server.server_id)
-            server.register(name, hosted)
+            server.register(name, hosted, layout=layout)
         return partitioner
 
     def partitioner(self, name: str) -> VectorPartitioner:
@@ -189,6 +208,59 @@ class ParameterServerGroup:
             def send(server=server, part=part, piece=piece):
                 return server.handle_push(
                     name, row, part.partition_id, piece, seq=seq
+                )
+
+            self._deliver(
+                "push",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=piece_bytes,
+            )
+            stats.messages += 1
+        return stats
+
+    def push_slab(
+        self,
+        name: str,
+        row: int,
+        slab: SparseSlab,
+        seq: object | None = None,
+        worker: int | None = None,
+    ) -> TransferStats:
+        """Push one block's sparse histogram slab for ``row``.
+
+        The slab is routed to every range overlapping its feature stripe
+        — *every* such range, even where the slab lists no features,
+        because the block's gradient sums must fold into the zero buckets
+        of its stripe's empty features there.  Each range is billed only
+        the slab's share: header plus the listed features inside the
+        range.  ``seq``/``worker`` follow the :meth:`push_row` contract
+        (seq required under a fault fabric).
+        """
+        partitioner = self.partitioner(name)
+        layout = self._layouts.get(name)
+        if layout is None:
+            raise PSError(
+                f"parameter {name!r} was registered without a slab layout"
+            )
+        if self.fabric is not None and seq is None:
+            raise PSError(
+                "push_slab without a seq token while a fault fabric is "
+                "attached: retried pushes would double-count"
+            )
+        width = layout.feature_width
+        stats = TransferStats()
+        for part in partitioner.partitions_in_range(
+            slab.col_lo * width, slab.col_hi * width
+        ):
+            piece_bytes = slab.wire_bytes_for(part.lo // width, part.hi // width)
+            stats.bytes_up += piece_bytes
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part):
+                return server.handle_push_slab(
+                    name, row, part.partition_id, slab, seq=seq
                 )
 
             self._deliver(

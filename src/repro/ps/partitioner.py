@@ -100,6 +100,9 @@ class VectorPartitioner:
             )
             for pid in range(n_partitions)
         )
+        # Range starts, precomputed once: partition_of_index is called per
+        # feature in hot paths and must not rebuild the boundary list.
+        self._los = np.asarray(boundaries[:-1], dtype=np.int64)
 
     @property
     def n_partitions(self) -> int:
@@ -110,9 +113,19 @@ class VectorPartitioner:
         """The range containing global element ``index`` (a range query)."""
         if not 0 <= index < self.length:
             raise PSError(f"index {index} out of range [0, {self.length})")
-        los = [p.lo for p in self.partitions]
-        pid = int(np.searchsorted(los, index, side="right")) - 1
+        pid = int(np.searchsorted(self._los, index, side="right")) - 1
         return self.partitions[pid]
+
+    def partitions_in_range(self, lo: int, hi: int) -> list[Partition]:
+        """All ranges overlapping global elements ``[lo, hi)``, in
+        partition order — the range query behind sparse slab routing."""
+        if not 0 <= lo <= hi <= self.length:
+            raise PSError(f"range [{lo}, {hi}) invalid for length {self.length}")
+        if lo == hi:
+            return []
+        first = int(np.searchsorted(self._los, lo, side="right")) - 1
+        last = int(np.searchsorted(self._los, hi - 1, side="right")) - 1
+        return list(self.partitions[first : last + 1])
 
     def partitions_on_server(self, server_id: int) -> list[Partition]:
         """All ranges hosted by ``server_id``."""

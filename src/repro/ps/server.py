@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import PSError
 from .partitioner import Partition
+from .slab import SlabLayout, SparseSlab
 
 #: A server-side pull function: (stored_values, partition) -> small result.
 PullUDF = Callable[[np.ndarray, Partition], Any]
@@ -42,6 +43,8 @@ class PSServer:
         # name -> row -> partition_id -> applied sequence tokens; freed
         # together with the rows they guard.
         self._applied: dict[str, dict[int, dict[int, set]]] = {}
+        # name -> histogram layout, for parameters accepting sparse slabs
+        self._layouts: dict[str, SlabLayout] = {}
         self.bytes_received = 0
         self.bytes_sent = 0
         self.duplicate_pushes = 0
@@ -50,14 +53,25 @@ class PSServer:
     # registration
     # ------------------------------------------------------------------
 
-    def register(self, name: str, hosted: list[Partition]) -> None:
-        """Declare a parameter and the ranges this server hosts for it."""
+    def register(
+        self,
+        name: str,
+        hosted: list[Partition],
+        layout: SlabLayout | None = None,
+    ) -> None:
+        """Declare a parameter and the ranges this server hosts for it.
+
+        ``layout`` marks the parameter as a per-feature histogram row and
+        enables the sparse slab push path (:meth:`handle_push_slab`).
+        """
         if name in self._hosted:
             raise PSError(f"parameter {name!r} already registered on server "
                           f"{self.server_id}")
         self._hosted[name] = list(hosted)
         self._rows[name] = {}
         self._applied[name] = {}
+        if layout is not None:
+            self._layouts[name] = layout
 
     def _partition(self, name: str, partition_id: int) -> Partition:
         try:
@@ -119,6 +133,78 @@ class PSServer:
             rows[partition_id] = values.copy()
         else:
             stored += values
+
+    def handle_push_slab(
+        self,
+        name: str,
+        row: int,
+        partition_id: int,
+        slab: SparseSlab,
+        seq: object | None = None,
+    ) -> None:
+        """Apply a sparse slab push to one hosted range of ``row``.
+
+        The slab speaks for the features of its stripe that fall inside
+        this partition: listed features contribute their carried values,
+        omitted stripe features contribute the Algorithm-2 closed form
+        (``sum_g`` / ``sum_h`` folded into the zero bucket, zeros
+        elsewhere), and features outside the stripe contribute nothing —
+        their stripes' own slabs cover them.  The materialized
+        contribution is then merged additively, so a row-sharded dense
+        push equals the element-wise sum of its stripes' slab pushes,
+        addend for addend.
+
+        ``seq`` carries the same per-round idempotency contract as
+        :meth:`handle_push` (token per logical message; duplicates are
+        counted, billed, and ignored; freed with the row).
+        """
+        part = self._partition(name, partition_id)
+        layout = self._layouts.get(name)
+        if layout is None:
+            raise PSError(
+                f"parameter {name!r} has no histogram layout registered; "
+                f"sparse slab pushes need one"
+            )
+        width = layout.feature_width
+        if part.lo % width or part.hi % width:
+            raise PSError(
+                f"partition {partition_id} of {name!r} is not feature-aligned "
+                f"(align {width}); cannot apply slabs"
+            )
+        f_lo, f_hi = part.lo // width, part.hi // width
+        self.bytes_received += slab.wire_bytes_for(f_lo, f_hi)
+        if seq is not None:
+            applied = self._applied[name].setdefault(row, {}).setdefault(
+                partition_id, set()
+            )
+            if seq in applied:
+                self.duplicate_pushes += 1
+                return
+            applied.add(seq)
+
+        # Materialize the slab's contribution over the hosted range.
+        lo = max(f_lo, slab.col_lo)
+        hi = min(f_hi, slab.col_hi)
+        contrib = np.zeros(part.length, dtype=np.float64)
+        if lo < hi:
+            view = contrib.reshape(f_hi - f_lo, 2, layout.n_bins)
+            local = np.arange(lo - f_lo, hi - f_lo, dtype=np.int64)
+            zero_bins = layout.zero_bins[lo:hi]
+            view[local, 0, zero_bins] = slab.sum_g
+            view[local, 1, zero_bins] = slab.sum_h
+            first = int(np.searchsorted(slab.features, lo, side="left"))
+            last = int(np.searchsorted(slab.features, hi, side="left"))
+            if first < last:
+                carried = slab.features[first:last] - f_lo
+                view[carried] = slab.values[first:last].reshape(
+                    last - first, 2, layout.n_bins
+                )
+        rows = self._rows[name].setdefault(row, {})
+        stored = rows.get(partition_id)
+        if stored is None:
+            rows[partition_id] = contrib
+        else:
+            stored += contrib
 
     def handle_pull(self, name: str, row: int, partition_id: int) -> np.ndarray:
         """Return the stored values of one hosted range of ``row``."""

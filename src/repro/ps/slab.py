@@ -1,0 +1,204 @@
+"""Sparse histogram slabs: the block-distributed push wire format.
+
+A row-sharded worker pushes a node's *dense* flat histogram — ``2 * K``
+floats for every one of the ``M`` features, even features with no nonzero
+in the node.  With 2-D sharding a worker holds only a feature stripe, and
+most of its features are empty for most nodes, so the block-distributed
+layout (PAPERS.md, arXiv:1904.10522) ships a *sparse slab* instead: only
+the features with at least one nonzero among the node's rows travel, plus
+the block's exact gradient sums ``(sum_g, sum_h)``.
+
+The server can reconstruct an omitted feature's histogram bit-exactly
+because Algorithm 2 gives it a closed form: all buckets zero except the
+zero bucket, which holds exactly ``sum_g`` / ``sum_h`` (the builder
+computes ``bincount - zsub + sum`` and both ``bincount`` and ``zsub`` are
+empty sums for an absent feature).  :class:`SlabLayout` carries the
+per-feature zero-bucket table the reconstruction needs.
+
+Wire format (charged to the cost model, never actually serialized here)::
+
+    header: col_lo, col_hi, sum_g, sum_h          -> 16 bytes
+    per present feature: feature id (4 bytes)
+                         2 * K float32 values     -> 4 + 8 * K bytes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PSError
+
+__all__ = ["SlabLayout", "SparseSlab", "slab_from_flat", "SLAB_HEADER_BYTES"]
+
+#: Bytes of the slab header: stripe range (2 ints) + sum_g/sum_h (2 floats).
+SLAB_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SlabLayout:
+    """How a flat parameter row maps onto per-feature histograms.
+
+    Registered once per parameter (alongside its partitioner) so servers
+    can materialize slab contributions: feature ``f`` owns flat elements
+    ``[f * 2 * n_bins, (f + 1) * 2 * n_bins)`` — ``n_bins`` gradient
+    buckets then ``n_bins`` hessian buckets, the
+    ``GradientHistogram.to_flat_feature_major`` layout.
+
+    Attributes:
+        n_features: Feature count M of the histogram row.
+        n_bins: Bucket budget K per feature.
+        zero_bins: int32 array; ``zero_bins[f]`` is feature ``f``'s zero
+            bucket (where absent features' gradient sums fold).
+    """
+
+    n_features: int
+    n_bins: int
+    zero_bins: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1 or self.n_bins < 1:
+            raise PSError(
+                f"slab layout needs positive dims, got M={self.n_features} "
+                f"K={self.n_bins}"
+            )
+        zero_bins = np.ascontiguousarray(self.zero_bins, dtype=np.int64)
+        object.__setattr__(self, "zero_bins", zero_bins)
+        if zero_bins.shape != (self.n_features,):
+            raise PSError(
+                f"zero_bins must have one entry per feature "
+                f"({self.n_features}), got {zero_bins.shape}"
+            )
+        if np.any(zero_bins < 0) or np.any(zero_bins >= self.n_bins):
+            raise PSError("zero_bins entries must lie in [0, n_bins)")
+
+    @property
+    def feature_width(self) -> int:
+        """Flat elements per feature: ``2 * n_bins``."""
+        return 2 * self.n_bins
+
+    @property
+    def row_length(self) -> int:
+        """Total flat row length ``2 * K * M``."""
+        return self.feature_width * self.n_features
+
+
+@dataclass(frozen=True)
+class SparseSlab:
+    """One block's sparse histogram push for one tree node.
+
+    Attributes:
+        col_lo, col_hi: The block's feature stripe ``[col_lo, col_hi)``
+            in *global* feature ids.  The slab speaks only for these
+            features: within the stripe, listed features carry their
+            values and omitted features are reconstructed from the sums;
+            outside the stripe the slab contributes nothing.
+        features: Sorted int64 array of global feature ids (within the
+            stripe) that have at least one nonzero among the node's rows.
+        values: float64 array of shape ``(len(features), 2 * K)`` —
+            each present feature's feature-major flat histogram segment.
+        sum_g, sum_h: The block's exact node gradient sums, computed with
+            the same expression as the histogram builder
+            (``float(grad[rows].sum())``) so reconstruction is bitwise.
+    """
+
+    col_lo: int
+    col_hi: int
+    features: np.ndarray
+    values: np.ndarray
+    sum_g: float
+    sum_h: float
+
+    def __post_init__(self) -> None:
+        features = np.ascontiguousarray(self.features, dtype=np.int64)
+        values = np.ascontiguousarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "values", values)
+        if not 0 <= self.col_lo <= self.col_hi:
+            raise PSError(
+                f"invalid slab stripe [{self.col_lo}, {self.col_hi})"
+            )
+        if features.ndim != 1:
+            raise PSError("slab features must be 1-D")
+        if values.ndim != 2 or values.shape[0] != len(features):
+            raise PSError(
+                f"slab values shape {values.shape} does not match "
+                f"{len(features)} features"
+            )
+        if len(features) > 0:
+            if np.any(np.diff(features) <= 0):
+                raise PSError("slab features must be strictly increasing")
+            if features[0] < self.col_lo or features[-1] >= self.col_hi:
+                raise PSError(
+                    f"slab features must lie in the stripe "
+                    f"[{self.col_lo}, {self.col_hi})"
+                )
+
+    @property
+    def n_present(self) -> int:
+        """Number of features actually carried."""
+        return len(self.features)
+
+    def wire_bytes_for(self, f_lo: int, f_hi: int) -> int:
+        """Wire size of this slab's share for features ``[f_lo, f_hi)``.
+
+        One header plus, per present feature in the range, a 4-byte id
+        and its ``2 * K`` float32 values — the sparse-slab line of the
+        cost model.  Zero when the range misses the stripe entirely
+        (no message is sent there).
+        """
+        lo = max(f_lo, self.col_lo)
+        hi = min(f_hi, self.col_hi)
+        if lo >= hi:
+            return 0
+        present = int(
+            np.searchsorted(self.features, hi, side="left")
+            - np.searchsorted(self.features, lo, side="left")
+        )
+        per_feature = 4 + self.values.shape[1] * 4
+        return SLAB_HEADER_BYTES + present * per_feature
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total wire size of the slab (single-message accounting)."""
+        return self.wire_bytes_for(self.col_lo, self.col_hi)
+
+
+def slab_from_flat(
+    flat: np.ndarray,
+    present: np.ndarray,
+    col_lo: int,
+    col_hi: int,
+    n_bins: int,
+    sum_g: float,
+    sum_h: float,
+) -> SparseSlab:
+    """Build a slab from a stripe-local feature-major flat histogram.
+
+    Args:
+        flat: The stripe's flat histogram (``(col_hi - col_lo) * 2 * K``
+            float64 values, feature-major).
+        present: Sorted stripe-local ids of features with nonzeros.
+        col_lo, col_hi: Global feature range of the stripe.
+        n_bins: Bucket budget K.
+        sum_g, sum_h: The block's exact node gradient sums.
+    """
+    width = 2 * n_bins
+    n_stripe = col_hi - col_lo
+    flat = np.asarray(flat, dtype=np.float64)
+    if flat.size != n_stripe * width:
+        raise PSError(
+            f"stripe flat has {flat.size} values; {n_stripe} features with "
+            f"{n_bins} bins need {n_stripe * width}"
+        )
+    present = np.asarray(present, dtype=np.int64)
+    segments = flat.reshape(n_stripe, width)[present]
+    return SparseSlab(
+        col_lo=col_lo,
+        col_hi=col_hi,
+        features=present + col_lo,
+        values=segments,
+        sum_g=sum_g,
+        sum_h=sum_h,
+    )

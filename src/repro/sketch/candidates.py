@@ -118,6 +118,26 @@ class CandidateSet:
         bins[:] = (lo - starts).astype(np.int32)
         return bins
 
+    def feature_range(self, lo: int, hi: int) -> "CandidateSet":
+        """The candidates of global features ``[lo, hi)``, rebased to 0.
+
+        The column-stripe view block-distributed workers bucketize
+        against: stripe feature ``f`` has exactly the cuts of global
+        feature ``lo + f``, so stripe-local bucket ids (and zero buckets)
+        match the global ones feature for feature.  The full range
+        returns ``self`` (the C=1 grid column stays allocation-free).
+        """
+        if not 0 <= lo <= hi <= self.n_features:
+            raise DataError(
+                f"feature range [{lo}, {hi}) invalid for {self.n_features} "
+                f"features"
+            )
+        if lo == 0 and hi == self.n_features:
+            return self
+        offsets = self.offsets[lo : hi + 1] - self.offsets[lo]
+        cuts = self.cuts[self.offsets[lo] : self.offsets[hi]]
+        return CandidateSet(offsets, cuts, self.max_bins)
+
     def split_value(self, feature: int, bucket: int) -> float:
         """Split threshold for "left = buckets 0..bucket" of ``feature``.
 

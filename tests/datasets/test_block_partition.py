@@ -1,0 +1,174 @@
+"""Tests for the 2-D row×feature block partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    BlockPartitioner,
+    CSRMatrix,
+    Dataset,
+    GridSpec,
+    SyntheticSpec,
+    make_sparse_classification,
+    partition_rows,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticSpec(n_instances=103, n_features=40, avg_nnz=6)
+    return make_sparse_classification(spec, seed=0)
+
+
+class TestGridSpec:
+    def test_parse(self):
+        spec = GridSpec.parse("2x4")
+        assert (spec.rows, spec.cols) == (2, 4)
+        assert spec.n_blocks == 8
+        assert str(spec) == "2x4"
+
+    @pytest.mark.parametrize("bad", ["", "2", "2x", "x4", "2x4x8", "ax4", "0x4"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(DataError):
+            GridSpec.parse(bad)
+
+    def test_block_id_row_major(self):
+        spec = GridSpec(2, 3)
+        assert [spec.block_id(r, c) for r in range(2) for c in range(3)] == [
+            0, 1, 2, 3, 4, 5,
+        ]
+
+
+class TestBlockPartitioner:
+    def test_row_shards_match_partition_rows(self, data):
+        """C=1 must reproduce partition_rows exactly — same rows, names."""
+        part = BlockPartitioner(data, GridSpec(4, 1))
+        legacy = partition_rows(data, 4)
+        for shard, old in zip(
+            (part.row_shard(r) for r in range(4)), legacy
+        ):
+            assert shard.name == old.name
+            np.testing.assert_array_equal(shard.y, old.y)
+            np.testing.assert_array_equal(
+                shard.X.to_dense(), old.X.to_dense()
+            )
+
+    def test_blocks_tile_the_matrix(self, data):
+        part = BlockPartitioner(data, GridSpec(3, 4))
+        dense = data.X.to_dense()
+        for block in part.blocks:
+            np.testing.assert_array_equal(
+                block.data.X.to_dense(),
+                dense[block.row_lo : block.row_hi, block.col_lo : block.col_hi],
+            )
+
+    def test_block_of(self, data):
+        part = BlockPartitioner(data, GridSpec(3, 4))
+        r, c = part.block_of(50, 25)
+        block = part.block(r, c)
+        assert block.row_lo <= 50 < block.row_hi
+        assert block.col_lo <= 25 < block.col_hi
+
+    def test_zero_instances_rejected(self):
+        empty = Dataset(
+            CSRMatrix.from_dense(np.zeros((0, 4), dtype=np.float32)),
+            np.zeros(0, dtype=np.float32),
+            "empty",
+        )
+        with pytest.raises(DataError, match="zero instances"):
+            BlockPartitioner(empty, GridSpec(1, 1))
+
+    def test_partition_rows_zero_instances(self):
+        empty = Dataset(
+            CSRMatrix.from_dense(np.zeros((0, 4), dtype=np.float32)),
+            np.zeros(0, dtype=np.float32),
+            "empty",
+        )
+        with pytest.raises(DataError, match="zero instances"):
+            partition_rows(empty, 2)
+
+    def test_too_many_stripes_rejected(self, data):
+        with pytest.raises(DataError, match="features"):
+            BlockPartitioner(data, GridSpec(1, data.n_features + 1))
+
+    def test_weights_propagate(self, data):
+        weighted = Dataset(
+            data.X, data.y, "w", np.arange(data.n_instances, dtype=np.float64)
+        )
+        part = BlockPartitioner(weighted, GridSpec(3, 1))
+        got = np.concatenate(
+            [part.row_shard(r).weights for r in range(3)]
+        )
+        np.testing.assert_array_equal(got, weighted.weights)
+
+
+def tiny_dataset(n: int, m: int, seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    dense = ((rng.random((n, m)) < 0.5) * rng.random((n, m))).astype(
+        np.float32
+    )
+    y = rng.integers(0, 2, size=n).astype(np.float32)
+    return Dataset(CSRMatrix.from_dense(dense), y, "prop")
+
+
+class TestBlockProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 12),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_every_cell_in_exactly_one_block(self, n, m, rows, cols, seed):
+        """Every (row, feature) lands in exactly one block of the grid."""
+        data = tiny_dataset(n, m, seed)
+        if rows > n or cols > m:
+            with pytest.raises(DataError):
+                BlockPartitioner(data, GridSpec(rows, cols))
+            return
+        part = BlockPartitioner(data, GridSpec(rows, cols))
+        coverage = np.zeros((n, m), dtype=np.int64)
+        for block in part.blocks:
+            coverage[block.row_lo : block.row_hi, block.col_lo : block.col_hi] += 1
+        assert np.all(coverage == 1)
+        for i in range(n):
+            for j in range(m):
+                r, c = part.block_of(i, j)
+                block = part.blocks[part.grid.block_id(r, c)]
+                assert block.row_lo <= i < block.row_hi
+                assert block.col_lo <= j < block.col_hi
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 12),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_blocks_concatenate_to_input(self, n, m, rows, cols, seed):
+        """Stacking the grid back together recovers the input matrix."""
+        data = tiny_dataset(n, m, seed)
+        if rows > n or cols > m:
+            return
+        part = BlockPartitioner(data, GridSpec(rows, cols))
+        rebuilt = np.vstack(
+            [
+                np.hstack(
+                    [
+                        part.block(r, c).data.X.to_dense()
+                        for c in range(cols)
+                    ]
+                )
+                for r in range(rows)
+            ]
+        )
+        np.testing.assert_array_equal(rebuilt, data.X.to_dense())
+        y = np.concatenate([part.row_shard(r).y for r in range(rows)])
+        np.testing.assert_array_equal(y, data.y)

@@ -1,0 +1,158 @@
+"""Bit-identity and guard tests for 2-D block-sharded training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.config import ClusterConfig, TrainConfig
+from repro.datasets import SyntheticSpec, make_sparse_classification
+from repro.distributed import DistributedGBDT, train_distributed
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticSpec(n_instances=300, n_features=32, avg_nnz=8.0)
+    return make_sparse_classification(spec, seed=11)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TrainConfig(
+        n_trees=3, max_depth=4, compression_bits=0, sketch_eps=0.05
+    )
+
+
+def trees_of(result):
+    return [tree.to_dict() for tree in result.model.trees]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("system", ["tencentboost", "dimboost"])
+    def test_block_equals_row_sharded(self, data, config, system):
+        """A (R, C) grid grows the exact trees of the R-worker row shard:
+        same rows per band, feature-axis reduction on the servers."""
+        row = train_distributed(
+            system, data, ClusterConfig(n_workers=2, n_servers=4), config
+        )
+        blk = train_distributed(
+            system,
+            data,
+            ClusterConfig(n_workers=8, n_servers=4, grid=(2, 4)),
+            config,
+        )
+        assert trees_of(row) == trees_of(blk)
+        np.testing.assert_array_equal(
+            row.model.predict(data.X), blk.model.predict(data.X)
+        )
+
+    def test_single_column_grid_equals_default(self, data, config):
+        """grid=(R, 1) is exactly the row-sharded layout."""
+        base = train_distributed(
+            "dimboost", data, ClusterConfig(n_workers=3, n_servers=2), config
+        )
+        grid = train_distributed(
+            "dimboost",
+            data,
+            ClusterConfig(n_workers=3, n_servers=2, grid=(3, 1)),
+            config,
+        )
+        assert trees_of(base) == trees_of(grid)
+
+    def test_distributed_sketch_path(self, data, config):
+        """Per-stripe GK sketches merged down grid rows propose the same
+        candidates as per-shard full-width sketches."""
+        cluster_row = ClusterConfig(n_workers=2, n_servers=2)
+        cluster_blk = ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2))
+        row = DistributedGBDT(
+            "dimboost", cluster_row, config, distributed_sketch=True
+        ).fit(data)
+        blk = DistributedGBDT(
+            "dimboost", cluster_blk, config, distributed_sketch=True
+        ).fit(data)
+        assert trees_of(row) == trees_of(blk)
+
+    def test_wide_grid_single_row_band(self, data, config):
+        """R=1: every worker holds all rows, one feature stripe each."""
+        row = train_distributed(
+            "dimboost", data, ClusterConfig(n_workers=1, n_servers=2), config
+        )
+        blk = train_distributed(
+            "dimboost",
+            data,
+            ClusterConfig(n_workers=4, n_servers=2, grid=(1, 4)),
+            config,
+        )
+        assert trees_of(row) == trees_of(blk)
+
+
+class TestChaosRecovery:
+    def test_faulted_block_run_recovers_bit_identical(self, data, config):
+        """Drops, duplicates, and a crash on the block grid all recover to
+        the fault-free trees (retry + seq dedupe + rollback)."""
+        cluster = ClusterConfig(n_workers=6, n_servers=2, grid=(3, 2))
+        clean = DistributedGBDT("dimboost", cluster, config).fit(data)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="drop", point="push", round_=1, worker=3),
+                FaultEvent(kind="duplicate", point="push", round_=0),
+                FaultEvent(
+                    kind="crash", point="histogram_build", round_=2, worker=4
+                ),
+            ),
+            name="block-chaos",
+        )
+        faulted = DistributedGBDT(
+            "dimboost", cluster, config, fault_plan=plan
+        ).fit(data)
+        assert trees_of(clean) == trees_of(faulted)
+        assert faulted.faults is not None
+
+
+class TestGuards:
+    def test_non_ps_backend_rejected(self, data, config):
+        """Feature stripes need server-side reduce; AllReduce backends
+        cannot host a striped histogram."""
+        with pytest.raises(ConfigError, match="PS backend"):
+            train_distributed(
+                "xgboost",
+                data,
+                ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2)),
+                config,
+            )
+
+    def test_compression_rejected(self, data):
+        """Per-worker stochastic-rounding streams differ between layouts;
+        compression would break bit-identity, so it is refused."""
+        with pytest.raises(ConfigError, match="compression"):
+            train_distributed(
+                "dimboost",
+                data,
+                ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2)),
+                TrainConfig(n_trees=2, compression_bits=8),
+            )
+
+    def test_grid_must_match_workers(self):
+        with pytest.raises(ConfigError, match="grid"):
+            ClusterConfig(n_workers=5, n_servers=2, grid=(2, 2))
+
+    def test_grid_shape_default(self):
+        assert ClusterConfig(n_workers=3, n_servers=2).grid_shape == (3, 1)
+        cfg = ClusterConfig(n_workers=6, n_servers=2, grid=(2, 3))
+        assert cfg.grid_shape == (2, 3)
+
+
+class TestTelemetry:
+    def test_block_run_reports_all_workers(self, data, config):
+        result = train_distributed(
+            "dimboost",
+            data,
+            ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2)),
+            config,
+        )
+        assert result.sim_seconds > 0
+        breakdown = result.breakdown.as_dict()
+        assert breakdown["communication"] > 0
+        assert breakdown["computation"] > 0

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import PSError
 from repro.ps import VectorPartitioner
@@ -125,3 +127,109 @@ class TestValidation:
     def test_zero_length(self):
         part = VectorPartitioner(0, 2)
         assert part.partitions[0].length == 0
+
+
+class TestRangeOverlapQuery:
+    def test_partitions_in_range(self):
+        part = VectorPartitioner(100, 4, n_partitions=8)
+        hits = part.partitions_in_range(10, 40)
+        assert hits, "a non-empty range must overlap at least one partition"
+        for p in hits:
+            assert p.lo < 40 and p.hi > 10
+        misses = {p.partition_id for p in part.partitions} - {
+            p.partition_id for p in hits
+        }
+        for pid in misses:
+            p = part.partitions[pid]
+            assert p.hi <= 10 or p.lo >= 40
+
+    def test_empty_range(self):
+        part = VectorPartitioner(100, 4)
+        assert part.partitions_in_range(50, 50) == []
+
+    def test_invalid_range(self):
+        part = VectorPartitioner(100, 4)
+        with pytest.raises(PSError):
+            part.partitions_in_range(40, 10)
+        with pytest.raises(PSError):
+            part.partitions_in_range(0, 101)
+
+    def test_full_range_is_all_partitions(self):
+        part = VectorPartitioner(100, 4, n_partitions=8)
+        assert part.partitions_in_range(0, 100) == list(part.partitions)
+
+
+class TestProperties:
+    """Hypothesis properties over lengths, alignment, and server counts."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 50),
+        st.integers(1, 8),
+        st.integers(1, 12),
+        st.integers(1, 6),
+    )
+    def test_align_clamps_and_covers(self, units, align, n_servers, n_parts):
+        """With align > 1 the partition count clamps to the unit count,
+        boundaries stay on multiples, and ranges still tile the vector."""
+        length = units * align
+        part = VectorPartitioner(
+            length, n_servers, n_partitions=n_parts, align=align
+        )
+        assert part.n_partitions == min(n_parts, units)
+        covered = 0
+        for p in part.partitions:
+            assert p.lo % align == 0 and p.hi % align == 0
+            covered += p.length
+        assert covered == length
+        assert part.partitions[0].lo == 0
+        assert part.partitions[-1].hi == length
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 12))
+    def test_single_unit_vector(self, align, n_servers):
+        """A one-unit vector always yields exactly one partition."""
+        part = VectorPartitioner(
+            align, n_servers, n_partitions=7, align=align
+        )
+        assert part.n_partitions == 1
+        assert part.partition_of_index(0).lo == 0
+        assert part.partition_of_index(align - 1).hi == align
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 8),
+        st.integers(1, 16),
+        st.integers(0, 5),
+    )
+    def test_server_loads_balance_bound(self, length, n_servers, n_parts, salt):
+        """Round-robin dealing bounds the per-server element imbalance by
+        one partition's worth (ceil of the largest range)."""
+        part = VectorPartitioner(
+            length, n_servers, n_partitions=n_parts, salt=salt
+        )
+        loads = part.server_loads()
+        assert int(loads.sum()) == length
+        # The hash step deals ranges round-robin, so range *counts* per
+        # server differ by at most one ...
+        counts = np.zeros(n_servers, dtype=np.int64)
+        for p in part.partitions:
+            counts[p.server_id] += 1
+        assert int(counts.max() - counts.min()) <= 1
+        # ... which bounds any server's element load by its range count
+        # times the largest range (linspace keeps ranges within one
+        # element of each other).
+        largest_range = max(p.length for p in part.partitions)
+        assert int(loads.max()) <= int(counts.max()) * largest_range
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 300), st.integers(1, 8), st.integers(1, 16))
+    def test_partition_of_index_matches_linear_scan(
+        self, length, n_servers, n_parts
+    ):
+        """Binary search agrees with the linear definition everywhere."""
+        part = VectorPartitioner(length, n_servers, n_partitions=n_parts)
+        for i in range(0, length, max(1, length // 17)):
+            found = part.partition_of_index(i)
+            assert found.lo <= i < found.hi

@@ -1,0 +1,237 @@
+"""Tests for sparse histogram slabs (block-distributed pushes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PSError
+from repro.ps import ParameterServerGroup, PSServer, SlabLayout, SparseSlab, slab_from_flat
+from repro.ps.partitioner import Partition
+from repro.ps.slab import SLAB_HEADER_BYTES
+
+M, K = 8, 4  # features, bins
+WIDTH = 2 * K
+
+
+def make_layout(n_features: int = M) -> SlabLayout:
+    return SlabLayout(
+        n_features=n_features,
+        n_bins=K,
+        zero_bins=np.arange(n_features, dtype=np.int64) % K,
+    )
+
+
+def dense_row(rng, present, sum_g, sum_h, layout, col_lo=0, col_hi=M):
+    """The dense flat row a slab over [col_lo, col_hi) should reconstruct."""
+    row = np.zeros(layout.row_length, dtype=np.float64)
+    view = row.reshape(layout.n_features, 2, K)
+    for f in range(col_lo, col_hi):
+        if f in present:
+            view[f] = rng.normal(size=(2, K))
+        else:
+            view[f, 0, layout.zero_bins[f]] = sum_g
+            view[f, 1, layout.zero_bins[f]] = sum_h
+    return row
+
+
+def slab_of(row, present, layout, col_lo=0, col_hi=M, sum_g=0.0, sum_h=0.0):
+    present = np.asarray(sorted(present), dtype=np.int64)
+    segments = row.reshape(layout.n_features, WIDTH)[present]
+    return SparseSlab(
+        col_lo=col_lo,
+        col_hi=col_hi,
+        features=present,
+        values=segments,
+        sum_g=sum_g,
+        sum_h=sum_h,
+    )
+
+
+class TestSlabLayout:
+    def test_widths(self):
+        layout = make_layout()
+        assert layout.feature_width == WIDTH
+        assert layout.row_length == M * WIDTH
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(PSError, match="positive dims"):
+            SlabLayout(0, K, np.zeros(0, dtype=np.int64))
+
+    def test_rejects_wrong_zero_bins_shape(self):
+        with pytest.raises(PSError, match="one entry per feature"):
+            SlabLayout(M, K, np.zeros(M - 1, dtype=np.int64))
+
+    def test_rejects_out_of_range_zero_bins(self):
+        bad = np.zeros(M, dtype=np.int64)
+        bad[0] = K
+        with pytest.raises(PSError, match="lie in"):
+            SlabLayout(M, K, bad)
+
+
+class TestSparseSlab:
+    def test_rejects_unsorted_features(self):
+        with pytest.raises(PSError, match="strictly increasing"):
+            SparseSlab(0, M, np.array([3, 1]), np.zeros((2, WIDTH)), 0.0, 0.0)
+
+    def test_rejects_features_outside_stripe(self):
+        with pytest.raises(PSError, match="stripe"):
+            SparseSlab(2, 5, np.array([1]), np.zeros((1, WIDTH)), 0.0, 0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PSError, match="does not match"):
+            SparseSlab(0, M, np.array([1, 2]), np.zeros((3, WIDTH)), 0.0, 0.0)
+
+    def test_wire_bytes(self):
+        slab = SparseSlab(
+            0, M, np.array([1, 4, 6]), np.zeros((3, WIDTH)), 0.0, 0.0
+        )
+        per_feature = 4 + WIDTH * 4
+        assert slab.wire_bytes == SLAB_HEADER_BYTES + 3 * per_feature
+        # Range covering one listed feature: header + one payload.
+        assert slab.wire_bytes_for(4, 6) == SLAB_HEADER_BYTES + per_feature
+        # Range inside the stripe but missing every listed feature still
+        # costs a header: the sums must still travel there.
+        assert slab.wire_bytes_for(2, 4) == SLAB_HEADER_BYTES
+        # Range entirely outside the stripe: no message at all.
+        assert slab.wire_bytes_for(M, M + 4) == 0
+
+    def test_slab_from_flat(self):
+        rng = np.random.default_rng(0)
+        flat = rng.normal(size=3 * WIDTH)
+        slab = slab_from_flat(
+            flat, np.array([0, 2]), col_lo=5, col_hi=8, n_bins=K,
+            sum_g=1.5, sum_h=2.5,
+        )
+        np.testing.assert_array_equal(slab.features, [5, 7])
+        np.testing.assert_array_equal(
+            slab.values, flat.reshape(3, WIDTH)[[0, 2]]
+        )
+        assert slab.sum_g == 1.5 and slab.sum_h == 2.5
+
+    def test_slab_from_flat_size_check(self):
+        with pytest.raises(PSError, match="need"):
+            slab_from_flat(
+                np.zeros(5), np.array([0]), 0, 3, K, 0.0, 0.0
+            )
+
+
+@pytest.fixture()
+def server() -> PSServer:
+    s = PSServer(0)
+    s.register(
+        "hist",
+        [Partition(0, 0, M * WIDTH, 0)],
+        layout=make_layout(),
+    )
+    return s
+
+
+class TestServerSlabPush:
+    def test_slab_equals_dense_push(self, server):
+        """One stripe's slab push must equal the dense push of the row it
+        encodes — bit for bit, including reconstructed empty features."""
+        rng = np.random.default_rng(1)
+        layout = make_layout()
+        row = dense_row(rng, {1, 3}, sum_g=0.75, sum_h=1.25, layout=layout)
+        slab = slab_of(row, {1, 3}, layout, sum_g=0.75, sum_h=1.25)
+        server.handle_push_slab("hist", 0, 0, slab, seq=("t", 0))
+        server.handle_push("hist", 1, 0, row, seq=("t", 1))
+        np.testing.assert_array_equal(
+            server.handle_pull("hist", 0, 0), server.handle_pull("hist", 1, 0)
+        )
+
+    def test_stripe_restriction(self, server):
+        """A slab contributes nothing outside its stripe: other stripes'
+        features stay exactly zero, not sum-reconstructed."""
+        layout = make_layout()
+        slab = SparseSlab(2, 5, np.empty(0, dtype=np.int64),
+                          np.empty((0, WIDTH)), sum_g=3.0, sum_h=4.0)
+        server.handle_push_slab("hist", 0, 0, slab, seq=("t", 0))
+        stored = server.handle_pull("hist", 0, 0).reshape(M, 2, K)
+        for f in range(M):
+            expect = np.zeros((2, K))
+            if 2 <= f < 5:
+                expect[0, layout.zero_bins[f]] = 3.0
+                expect[1, layout.zero_bins[f]] = 4.0
+            np.testing.assert_array_equal(stored[f], expect)
+
+    def test_duplicate_seq_not_reapplied(self, server):
+        layout = make_layout()
+        slab = SparseSlab(0, M, np.empty(0, dtype=np.int64),
+                          np.empty((0, WIDTH)), sum_g=1.0, sum_h=1.0)
+        server.handle_push_slab("hist", 0, 0, slab, seq=(0, 7))
+        once = server.handle_pull("hist", 0, 0).copy()
+        server.handle_push_slab("hist", 0, 0, slab, seq=(0, 7))
+        np.testing.assert_array_equal(server.handle_pull("hist", 0, 0), once)
+        assert server.duplicate_pushes == 1
+
+    def test_requires_layout(self):
+        s = PSServer(0)
+        s.register("plain", [Partition(0, 0, M * WIDTH, 0)])
+        slab = SparseSlab(0, M, np.empty(0, dtype=np.int64),
+                          np.empty((0, WIDTH)), 0.0, 0.0)
+        with pytest.raises(PSError, match="no histogram layout"):
+            s.handle_push_slab("plain", 0, 0, slab, seq=None)
+
+    def test_bytes_accounting(self, server):
+        slab = SparseSlab(0, M, np.array([2]), np.zeros((1, WIDTH)), 0.0, 0.0)
+        before = server.bytes_received
+        server.handle_push_slab("hist", 0, 0, slab, seq=None)
+        assert server.bytes_received - before == slab.wire_bytes
+
+
+class TestGroupSlabPush:
+    @pytest.fixture()
+    def group(self) -> ParameterServerGroup:
+        g = ParameterServerGroup(n_servers=3)
+        g.register(
+            "hist",
+            row_length=M * WIDTH,
+            align=WIDTH,
+            layout=make_layout(),
+        )
+        return g
+
+    def test_stripes_sum_to_dense(self, group):
+        """Pushing every stripe's slab equals one dense push of the whole
+        row — the end-to-end contract block-sharded training relies on."""
+        rng = np.random.default_rng(2)
+        layout = make_layout()
+        sums = [(0.5, 1.0), (2.0, 0.25)]
+        stripes = [(0, 4), (4, 8)]
+        present = [{1, 2}, {6}]
+        dense = np.zeros(layout.row_length, dtype=np.float64)
+        for (lo, hi), (sg, sh), pres in zip(stripes, sums, present):
+            piece = dense_row(rng, pres, sg, sh, layout, lo, hi)
+            dense += piece
+            slab = slab_of(piece, pres, layout, lo, hi, sg, sh)
+            group.push_slab("hist", 0, slab, seq=None)
+        group.push_row("hist", 1, dense, seq=None)
+        a, _ = group.pull_row("hist", 0)
+        b, _ = group.pull_row("hist", 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_partition_share_billing(self, group):
+        slab = SparseSlab(0, M, np.array([0, 7]),
+                          np.ones((2, WIDTH)), 1.0, 1.0)
+        stats = group.push_slab("hist", 0, slab, seq=None)
+        part = group.partitioner("hist")
+        shares = [
+            slab.wire_bytes_for(p.lo // WIDTH, p.hi // WIDTH)
+            for p in part.partitions
+        ]
+        assert stats.bytes_up == sum(s for s in shares if s > 0)
+        assert stats.messages == sum(1 for s in shares if s > 0)
+
+    def test_requires_layout(self, group):
+        group.register("plain", row_length=M * WIDTH, align=WIDTH)
+        slab = SparseSlab(0, M, np.empty(0, dtype=np.int64),
+                          np.empty((0, WIDTH)), 0.0, 0.0)
+        with pytest.raises(PSError, match="without a slab layout"):
+            group.push_slab("plain", 0, slab, seq=None)
+
+    def test_layout_length_mismatch(self):
+        g = ParameterServerGroup(n_servers=2)
+        with pytest.raises(PSError):
+            g.register("hist", row_length=10, align=1, layout=make_layout())
