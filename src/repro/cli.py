@@ -127,6 +127,7 @@ def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
         feature_sample_ratio=args.feature_sample,
         reg_lambda=args.reg_lambda,
         compression_bits=bits,
+        compression_block=getattr(args, "compression_block", 0),
         parallel_backend=args.parallel_backend,
         n_processes=args.n_processes,
         seed=args.seed,
@@ -323,10 +324,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ROWSxCOLS",
         help="2-D worker grid for block-distributed training, e.g. 2x4 "
-        "(requires --system and --compression-bits 0; implies "
-        "--workers rows*cols)",
+        "(requires --system; implies --workers rows*cols; composes with "
+        "--compression-bits: slab pushes ride the codec)",
     )
     train.add_argument("--compression-bits", type=int, default=0)
+    train.add_argument(
+        "--compression-block",
+        type=int,
+        default=0,
+        help="values per fixed-point scale of the histogram codec "
+        "(0 = one scale per per-feature g/h histogram)",
+    )
     train.add_argument(
         "--progress",
         action="store_true",

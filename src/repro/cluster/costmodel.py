@@ -166,6 +166,40 @@ def sparse_slab_bytes(
     return header_bytes + n_present * (4 + 2 * n_bins * 4)
 
 
+def compressed_slab_bytes(
+    n_present: int,
+    n_bins: int,
+    bits: int,
+    block_size: int | None = None,
+    header_bytes: int = 16,
+) -> int:
+    """Wire bytes of one *compressed* sparse histogram slab.
+
+    The Section 6.1 codec replaces each present feature's ``2 * K``
+    float32 values with ``ceil(2 * K * bits / 8)`` packed bytes plus one
+    float32 scale per ``block_size`` values (default ``n_bins``: one
+    scale per g- and one per h-histogram).  The header — stripe range and
+    exact gradient sums — stays uncompressed, as do the 4-byte feature
+    ids.  Matches :meth:`repro.ps.CompressedSlab.wire_bytes_for` exactly.
+    """
+    if n_present < 0 or n_bins < 1 or header_bytes < 0:
+        raise CommunicationError(
+            f"invalid slab shape: present={n_present}, K={n_bins}, "
+            f"header={header_bytes}"
+        )
+    if bits < 1:
+        raise CommunicationError(f"bits must be >= 1, got {bits}")
+    block = n_bins if block_size is None else block_size
+    width = 2 * n_bins
+    if block < 1 or width % block != 0:
+        raise CommunicationError(
+            f"block_size {block} must divide the feature width {width}"
+        )
+    payload = -(-width * bits // 8)
+    scales = (width // block) * 4
+    return header_bytes + n_present * (4 + payload + scales)
+
+
 def crossover_workers(
     system_a: str,
     system_b: str,

@@ -55,6 +55,11 @@ class TrainConfig:
         loss: Name of the loss function, one of ``SUPPORTED_LOSSES``.
         compression_bits: Width ``r`` of the fixed-point histogram codec;
             0 disables compression (full 32-bit floats on the wire).
+        compression_block: Values per fixed-point scale of the codec; 0
+            (default) uses one scale per per-feature g/h histogram
+            (``n_split_candidates + 1`` buckets).  Must divide the
+            per-feature histogram width ``2 * (n_split_candidates + 1)``
+            when set; smaller blocks trade scale overhead for SNR.
         batch_size: Instance batch size ``b`` for parallel histogram
             construction.
         n_threads: Simulated per-worker thread count ``q`` used for the
@@ -86,6 +91,7 @@ class TrainConfig:
     min_child_weight: float = 0.0
     loss: str = "logistic"
     compression_bits: int = 8
+    compression_block: int = 0
     batch_size: int = 10_000
     n_threads: int = 20
     n_processes: int = 1
@@ -127,6 +133,10 @@ class TrainConfig:
         _require(
             self.compression_bits in (0, 2, 4, 8, 16),
             f"compression_bits must be one of (0, 2, 4, 8, 16), got {self.compression_bits}",
+        )
+        _require(
+            self.compression_block >= 0,
+            f"compression_block must be >= 0, got {self.compression_block}",
         )
         _require(self.batch_size >= 1, f"batch_size must be >= 1, got {self.batch_size}")
         _require(self.n_threads >= 1, f"n_threads must be >= 1, got {self.n_threads}")

@@ -328,15 +328,33 @@ def _ps_aggregate_slabs(
     pushes — the bit-identity contract.  The batched scatter is charged
     with the *actual* average slab bytes, so sparsity directly shrinks
     the transfer term of the cost model.
+
+    Backends exposing ``compression_bits`` (DimBoost) also quantize each
+    slab's value payload: the rng is spawned per ``(tree, node, block)``
+    — the same spawn key a rollback-replay re-derives — and compression
+    happens once per slab before the partition fan-out, so retries,
+    duplicates, and replays all move the identical packed payload.
     """
     if not slabs:
         raise TrainingError(f"node {node}: no slabs to aggregate")
+    bits = getattr(backend, "compression_bits", 0)
+    block_size = getattr(backend, "compression_block", None)
     total_bytes = 0
     for block_id, slab in slabs:
+        rng = (
+            spawn_rng(
+                backend.config.seed, "lowprec", backend._tree_index, node, block_id
+            )
+            if bits
+            else None
+        )
         stats = backend.group.push_slab(
             "grad_hist",
             node,
             slab,
+            compression_bits=bits,
+            rng=rng,
+            compression_block=block_size,
             seq=(backend._tree_index, block_id),
             worker=block_id,
         )
@@ -482,6 +500,17 @@ class DimBoostBackend(AggregationBackend):
         self.compression_bits = (
             config.compression_bits if compression_bits is None else compression_bits
         )
+        # One scale per per-feature g/h histogram by default (Section
+        # 6.1's "the maximal absolute value in the histogram");
+        # config.compression_block overrides the granularity.
+        self.compression_block = (
+            config.compression_block if config.compression_block else self.n_bins
+        )
+        if (2 * self.n_bins) % self.compression_block != 0:
+            raise ConfigError(
+                f"compression_block {self.compression_block} must divide the "
+                f"per-feature histogram width {2 * self.n_bins}"
+            )
         if not use_scheduler:
             self.scheduler = SingleAgentScheduler(cluster.n_workers)
         elif speed_aware_scheduler:
@@ -550,9 +579,7 @@ class DimBoostBackend(AggregationBackend):
                 flat,
                 compression_bits=self.compression_bits,
                 rng=rng,
-                # One scale per per-feature g/h histogram (Section 6.1's
-                # "the maximal absolute value in the histogram").
-                compression_block=self.n_bins,
+                compression_block=self.compression_block,
                 seq=(self._tree_index, worker_id),
                 worker=worker_id,
             )
@@ -575,14 +602,11 @@ class DimBoostBackend(AggregationBackend):
         self._push_bytes[node] = pushed
 
     def aggregate_node_slabs(self, node, slabs, clock) -> None:
-        # Slabs never carry compressed payloads: the engine rejects
-        # compression with feature-striped grids (the per-worker rng
-        # streams would break bit-identity with the row-sharded run).
-        if self.compression_bits:
-            raise TrainingError(
-                "sparse slab aggregation is incompatible with histogram "
-                "compression; set compression_bits=0 for block grids"
-            )
+        # With compression on, each slab's value payload is quantized
+        # once before the partition fan-out (see _ps_aggregate_slabs);
+        # the exact header sums still reconstruct absent features with
+        # no quantization at all, and the servers store the *folded*
+        # histogram directly, so no _node_sums refold entry is needed.
         _ps_aggregate_slabs(self, node, slabs, clock)
 
     def _make_udf(self, feature_valid: np.ndarray | None, node: int):

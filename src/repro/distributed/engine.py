@@ -53,6 +53,7 @@ from ..errors import ConfigError
 from ..histogram.binned import BinnedShard
 from ..histogram.buffers import HistogramBufferPool
 from ..histogram.index import NodeInstanceIndex
+from ..ps.group import ParameterServerGroup
 from ..ps.master import Master, WorkerPhase
 from ..ps.slab import SparseSlab, slab_from_flat
 from ..runtime.build import HistogramBuildStrategy, resolve_build_strategy
@@ -70,7 +71,13 @@ from ..sketch.candidates import (
     propose_candidates,
     propose_candidates_from_sketches,
 )
-from ..sketch.quantile import GKSketch, sketch_columns
+from ..sketch.quantile import (
+    AnySketch,
+    GKSketch,
+    WeightedGKSketch,
+    sketch_columns,
+    sketch_columns_weighted,
+)
 from ..tree.split import leaf_weight
 from ..tree.tree import RegressionTree
 from ..utils.timing import Stopwatch, TimeBreakdown
@@ -480,11 +487,17 @@ class DistributedGBDT:
         use_index: Node-to-instance index on workers (ablation hook).
         batched_build: Parallel batch construction with the simulated
             span accounting (Section 5.2).
-        distributed_sketch: Build candidates from per-worker GK sketches
-            merged on the PS (the faithful CREATE_SKETCH path) instead of
-            exact global quantiles.  Exact is the default because both
-            paths yield near-identical candidates and the exact path keeps
-            the cross-system tree-identity guarantee.
+        distributed_sketch: Back-compat alias for
+            ``sketch_mode="distributed"``.
+        sketch_mode: How CREATE_SKETCH proposes candidates.  ``"exact"``
+            (default) computes exact global quantiles in the driver and
+            charges modelled sketch bytes — it keeps the cross-system
+            tree-identity guarantee.  ``"distributed"`` builds per-worker
+            GK sketches and pushes them through the real PS fabric, where
+            the servers merge them per feature (the faithful CREATE_SKETCH
+            / PULL_SKETCH path).  ``"weighted"`` does the same with
+            hessian/instance-weighted summaries (Huang & Yi), so cut
+            points equalize weight mass per bucket.
         build_strategy: Explicit histogram build strategy; overrides the
             ``sparse_build`` / ``batched_build`` resolution when given.
         callbacks: Trainer hooks observing every fit (see
@@ -510,6 +523,7 @@ class DistributedGBDT:
         use_index: bool = True,
         batched_build: bool = False,
         distributed_sketch: bool = False,
+        sketch_mode: str | None = None,
         build_strategy: HistogramBuildStrategy | None = None,
         callbacks: Sequence[TrainerCallback] = (),
         fault_plan: FaultPlan | None = None,
@@ -521,7 +535,15 @@ class DistributedGBDT:
         self._sparse_build_override = sparse_build
         self.use_index = use_index
         self.batched_build = batched_build
-        self.distributed_sketch = distributed_sketch
+        if sketch_mode is None:
+            sketch_mode = "distributed" if distributed_sketch else "exact"
+        if sketch_mode not in ("exact", "distributed", "weighted"):
+            raise ConfigError(
+                f"sketch_mode must be 'exact', 'distributed', or "
+                f"'weighted', got {sketch_mode!r}"
+            )
+        self.sketch_mode = sketch_mode
+        self.distributed_sketch = sketch_mode != "exact"
         self._build_strategy_override = build_strategy
         self.callbacks = list(callbacks)
         self.fault_plan = fault_plan
@@ -586,7 +608,11 @@ class DistributedGBDT:
         # CREATE_SKETCH / PULL_SKETCH.
         with runner.stage(WorkerPhase.CREATE_SKETCH):
             candidates, sketch_bytes = self._propose_candidates(
-                train, shards_data, clock, blocks
+                train,
+                shards_data,
+                clock,
+                blocks,
+                fabric=chaos.fabric if chaos is not None else None,
             )
         with runner.stage(WorkerPhase.PULL_SKETCH) as stage:
             # Pull of the merged sketches by every worker.
@@ -607,13 +633,6 @@ class DistributedGBDT:
                     f"grid {grid_rows}x{grid_cols} needs a backend with "
                     f"sparse slab aggregation; {self.system!r} has none "
                     f"(use a PS backend: tencentboost, dimboost)"
-                )
-            if getattr(backend, "compression_bits", 0):
-                raise ConfigError(
-                    "histogram compression is incompatible with "
-                    "feature-striped grids (cols > 1): the per-worker "
-                    "rounding streams would break bit-identity with the "
-                    "row-sharded run; set compression_bits=0"
                 )
         build_strategy = self._resolve_build_strategy(backend)
 
@@ -760,17 +779,21 @@ class DistributedGBDT:
         shards_data: list[Dataset],
         clock: SimClock,
         blocks: "list[DataBlock] | None" = None,
+        fabric=None,
     ) -> tuple[CandidateSet, float]:
         """Candidate proposal with the sketch *push* charged.
 
-        Returns the candidates plus the per-worker sketch wire bytes; the
-        caller charges the merged-sketch pull inside the PULL_SKETCH
-        stage.  The wire cost is the same for both paths: every worker
-        pushes one summary per feature it holds and pulls the merged ones
-        back.  With a feature-striped grid (``blocks``), each block
-        sketches only its stripe's columns; per-feature merging down a
-        stripe's grid rows produces the same merged sketch as the
-        row-sharded merge of the same rows, so candidates are identical.
+        Returns the candidates plus the sketch wire bytes the PULL_SKETCH
+        stage charges per worker.  On the ``"distributed"`` and
+        ``"weighted"`` paths every worker serializes one summary per
+        feature it holds and pushes it through a real
+        :class:`ParameterServerGroup` (and ``fabric``, when chaos is
+        active); the servers merge arrivals per feature in delivery
+        order.  With a feature-striped grid (``blocks``), each block
+        sketches only its stripe's columns and workers push in worker-id
+        order, so every stripe's feature is merged down its grid rows in
+        increasing row order — the same left-fold the row-sharded layout
+        performs — and candidates are bit-identical across layouts.
         """
         config = self.config
         cluster = self.cluster
@@ -787,7 +810,7 @@ class DistributedGBDT:
                 phase="CREATE_SKETCH",
             )
 
-        if not self.distributed_sketch:
+        if self.sketch_mode == "exact":
             # Exact path: charge the modelled summary size for the widest
             # per-worker feature range (the whole row when C == 1, the
             # widest stripe otherwise).
@@ -808,67 +831,73 @@ class DistributedGBDT:
                 sketch_bytes,
             )
 
-        per_worker_seconds = []
-        per_worker_bytes = []
+        # PS path: every worker pushes its serialized stripe-local
+        # summaries through the group (and the fault fabric, if any); the
+        # servers merge per feature in arrival order.
+        weighted = self.sketch_mode == "weighted"
+        eps_local = config.sketch_eps / 2.0
+        group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
+        group.register("sketch", train.n_features)
+
         if blocks is None:
-            merged: list[GKSketch] | None = None
-            for shard in shards_data:
-                sw = Stopwatch()
-                with sw:
-                    local = sketch_columns(
-                        shard.X.indptr,
-                        shard.X.indices,
-                        shard.X.data,
-                        shard.n_features,
-                        eps=config.sketch_eps / 2.0,
-                    )
-                per_worker_seconds.append(sw.total)
-                per_worker_bytes.append(sum(sk.wire_bytes for sk in local))
-                if merged is None:
-                    merged = local
-                else:
-                    merged = [a.merge(b) for a, b in zip(merged, local)]
-            assert merged is not None  # n_workers >= 1
-        else:
-            # Block path: sketch each block's stripe columns; merge down
-            # every stripe's grid rows (in row order, matching the
-            # row-sharded merge order), then concatenate the stripes.
-            per_stripe: dict[int, list[GKSketch]] = {}
-            per_worker_seconds = [0.0] * len(blocks)
-            per_worker_bytes = [0] * len(blocks)
-            for wid, block in enumerate(blocks):
-                sw = Stopwatch()
-                with sw:
-                    local = sketch_columns(
-                        block.data.X.indptr,
-                        block.data.X.indices,
-                        block.data.X.data,
-                        block.n_cols,
-                        eps=config.sketch_eps / 2.0,
-                    )
-                per_worker_seconds[wid] = sw.total
-                per_worker_bytes[wid] = sum(sk.wire_bytes for sk in local)
-                stripe = per_stripe.get(block.grid_col)
-                if stripe is None:
-                    per_stripe[block.grid_col] = local
-                else:
-                    per_stripe[block.grid_col] = [
-                        a.merge(b) for a, b in zip(stripe, local)
-                    ]
-            merged = [
-                sk
-                for c in sorted(per_stripe)
-                for sk in per_stripe[c]
+            units = [
+                (wid, shard.X, 0, shard.n_features, shard.weights)
+                for wid, shard in enumerate(shards_data)
             ]
+        else:
+            units = [
+                (wid, b.data.X, b.col_lo, b.n_cols, b.data.weights)
+                for wid, b in enumerate(blocks)
+            ]
+        per_worker_seconds = [0.0] * len(units)
+        per_worker_bytes = [0] * len(units)
+        for wid, X, col_lo, n_cols, row_weights in units:
+            sw = Stopwatch()
+            with sw:
+                local: Sequence[AnySketch]
+                if weighted:
+                    weights_arr = (
+                        np.asarray(row_weights, dtype=np.float64)
+                        if row_weights is not None
+                        else np.ones(X.shape[0], dtype=np.float64)
+                    )
+                    local = sketch_columns_weighted(
+                        X.indptr,
+                        X.indices,
+                        X.data,
+                        n_cols,
+                        weights_arr,
+                        eps=eps_local,
+                    )
+                else:
+                    local = sketch_columns(
+                        X.indptr, X.indices, X.data, n_cols, eps=eps_local
+                    )
+            per_worker_seconds[wid] = sw.total
+            stats = group.push_sketch(
+                "sketch",
+                {col_lo + f: sk for f, sk in enumerate(local)},
+                seq=("sketch", wid),
+                worker=wid,
+            )
+            per_worker_bytes[wid] = stats.bytes_up
         # Real wire accounting: what a worker's serialized sketches weigh.
         sketch_bytes = max(per_worker_bytes)
         charge_sketch_push(sketch_bytes)
         clock.barrier(
             scale_by_speeds(per_worker_seconds, cluster), phase="CREATE_SKETCH"
         )
+        merged_map, pull_stats = group.pull_sketches("sketch", worker=0)
+        empty: AnySketch = (
+            WeightedGKSketch(eps_local) if weighted else GKSketch(eps_local)
+        )
+        merged = [
+            merged_map[f] if f in merged_map else empty
+            for f in range(train.n_features)
+        ]
         return (
             propose_candidates_from_sketches(merged, config.n_split_candidates),
-            sketch_bytes,
+            float(pull_stats.bytes_down),
         )
 
 

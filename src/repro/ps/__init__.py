@@ -27,7 +27,13 @@ from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
 from .group import ParameterServerGroup, TransferStats
 from .master import Master, WorkerHealth, WorkerPhase
-from .slab import SlabLayout, SparseSlab, slab_from_flat
+from .slab import (
+    CompressedSlab,
+    SlabLayout,
+    SparseSlab,
+    compress_slab,
+    slab_from_flat,
+)
 
 __all__ = [
     "Partition",
@@ -41,5 +47,7 @@ __all__ = [
     "WorkerPhase",
     "SlabLayout",
     "SparseSlab",
+    "CompressedSlab",
+    "compress_slab",
     "slab_from_flat",
 ]

@@ -24,9 +24,10 @@ from ..compression.lowprec import (
     decompress_flat,
 )
 from ..errors import PSError
+from ..sketch.quantile import AnySketch, sketch_from_wire, sketch_to_wire
 from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
-from .slab import SlabLayout, SparseSlab
+from .slab import CompressedSlab, SlabLayout, SparseSlab, compress_slab
 
 
 @dataclass
@@ -225,6 +226,9 @@ class ParameterServerGroup:
         name: str,
         row: int,
         slab: SparseSlab,
+        compression_bits: int = 0,
+        rng: np.random.Generator | None = None,
+        compression_block: int | None = None,
         seq: object | None = None,
         worker: int | None = None,
     ) -> TransferStats:
@@ -237,6 +241,14 @@ class ParameterServerGroup:
         the slab's share: header plus the listed features inside the
         range.  ``seq``/``worker`` follow the :meth:`push_row` contract
         (seq required under a fault fabric).
+
+        With ``compression_bits > 0`` the slab's value payload is
+        quantized *once* — before the fan-out to partitions, so the
+        stochastic-rounding stream does not depend on the partition
+        layout — and every overlapping range receives (and decodes) the
+        same :class:`CompressedSlab`, billed at the packed wire size.
+        ``compression_block`` follows the :meth:`push_row` contract and
+        defaults to one scale per g- and per h-histogram.
         """
         partitioner = self.partitioner(name)
         layout = self._layouts.get(name)
@@ -249,18 +261,27 @@ class ParameterServerGroup:
                 "push_slab without a seq token while a fault fabric is "
                 "attached: retried pushes would double-count"
             )
+        if compression_bits and rng is None:
+            raise PSError("compression requires an rng for stochastic rounding")
+        wire_slab: SparseSlab | CompressedSlab = slab
+        if compression_bits:
+            wire_slab = compress_slab(
+                slab, layout, compression_bits, rng, compression_block
+            )
         width = layout.feature_width
         stats = TransferStats()
         for part in partitioner.partitions_in_range(
             slab.col_lo * width, slab.col_hi * width
         ):
-            piece_bytes = slab.wire_bytes_for(part.lo // width, part.hi // width)
+            piece_bytes = wire_slab.wire_bytes_for(
+                part.lo // width, part.hi // width
+            )
             stats.bytes_up += piece_bytes
             server = self.servers[part.server_id]
 
             def send(server=server, part=part):
                 return server.handle_push_slab(
-                    name, row, part.partition_id, slab, seq=seq
+                    name, row, part.partition_id, wire_slab, seq=seq
                 )
 
             self._deliver(
@@ -272,6 +293,89 @@ class ParameterServerGroup:
             )
             stats.messages += 1
         return stats
+
+    def push_sketch(
+        self,
+        name: str,
+        sketches: dict[int, AnySketch],
+        seq: object | None = None,
+        worker: int | None = None,
+    ) -> TransferStats:
+        """Push one worker's per-feature quantile summaries.
+
+        ``sketches`` maps global feature ids (elements of the registered
+        parameter, one element per feature) to local summaries.  Each
+        summary is serialized with the tagged wire frame, bucketed by the
+        partition hosting its feature, and delivered as one message per
+        partition — the servers merge arrivals in delivery order, so a
+        fixed push order across workers yields a deterministic merged
+        summary.  ``seq``/``worker`` follow the :meth:`push_row` contract
+        (seq required under a fault fabric; the engine uses
+        ``("sketch", worker_id)``).
+        """
+        partitioner = self.partitioner(name)
+        if self.fabric is not None and seq is None:
+            raise PSError(
+                "push_sketch without a seq token while a fault fabric is "
+                "attached: retried pushes would double-count"
+            )
+        buckets: dict[int, tuple[Partition, list[tuple[int, bytes]]]] = {}
+        for feature in sorted(sketches):
+            part = partitioner.partition_of_index(feature)
+            _, payloads = buckets.setdefault(part.partition_id, (part, []))
+            payloads.append((feature, sketch_to_wire(sketches[feature])))
+        stats = TransferStats()
+        for pid in sorted(buckets):
+            part, payloads = buckets[pid]
+            piece_bytes = sum(4 + len(wire) for _, wire in payloads)
+            stats.bytes_up += piece_bytes
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part, payloads=payloads):
+                return server.handle_push_sketch(
+                    name, part.partition_id, payloads, seq=seq
+                )
+
+            self._deliver(
+                "push",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=piece_bytes,
+            )
+            stats.messages += 1
+        return stats
+
+    def pull_sketches(
+        self, name: str, worker: int | None = None
+    ) -> tuple[dict[int, AnySketch], TransferStats]:
+        """Pull every merged summary, reassembled across partitions.
+
+        Returns a dict of global feature id to merged summary (features
+        nobody pushed are absent) plus the transfer accounting — the
+        PULL_SKETCH bytes the engine charges.
+        """
+        partitioner = self.partitioner(name)
+        merged: dict[int, AnySketch] = {}
+        stats = TransferStats()
+        for part in partitioner.partitions:
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part):
+                return server.handle_pull_sketch(name, part.partition_id)
+
+            payloads = self._deliver(
+                "pull",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=0,
+            )
+            for feature, wire in payloads:
+                merged[feature] = sketch_from_wire(wire)
+                stats.bytes_down += 4 + len(wire)
+            stats.messages += 1
+        return merged, stats
 
     def pull_row(
         self, name: str, row: int, worker: int | None = None

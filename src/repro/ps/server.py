@@ -20,8 +20,9 @@ from typing import Any, Callable
 import numpy as np
 
 from ..errors import PSError
+from ..sketch.quantile import AnySketch, sketch_from_wire, sketch_to_wire
 from .partitioner import Partition
-from .slab import SlabLayout, SparseSlab
+from .slab import CompressedSlab, SlabLayout, SparseSlab
 
 #: A server-side pull function: (stored_values, partition) -> small result.
 PullUDF = Callable[[np.ndarray, Partition], Any]
@@ -45,6 +46,10 @@ class PSServer:
         self._applied: dict[str, dict[int, dict[int, set]]] = {}
         # name -> histogram layout, for parameters accepting sparse slabs
         self._layouts: dict[str, SlabLayout] = {}
+        # name -> feature -> merged quantile summary (CREATE_SKETCH state)
+        self._sketches: dict[str, dict[int, AnySketch]] = {}
+        # name -> partition_id -> applied sketch-push sequence tokens
+        self._sketch_applied: dict[str, dict[int, set]] = {}
         self.bytes_received = 0
         self.bytes_sent = 0
         self.duplicate_pushes = 0
@@ -70,6 +75,8 @@ class PSServer:
         self._hosted[name] = list(hosted)
         self._rows[name] = {}
         self._applied[name] = {}
+        self._sketches[name] = {}
+        self._sketch_applied[name] = {}
         if layout is not None:
             self._layouts[name] = layout
 
@@ -139,7 +146,7 @@ class PSServer:
         name: str,
         row: int,
         partition_id: int,
-        slab: SparseSlab,
+        slab: SparseSlab | CompressedSlab,
         seq: object | None = None,
     ) -> None:
         """Apply a sparse slab push to one hosted range of ``row``.
@@ -153,6 +160,12 @@ class PSServer:
         contribution is then merged additively, so a row-sharded dense
         push equals the element-wise sum of its stripes' slab pushes,
         addend for addend.
+
+        A :class:`CompressedSlab` is billed at its (smaller) packed wire
+        size and decoded here before materialization; decoding is
+        deterministic, so duplicate deliveries of the same compressed
+        slab would reconstruct identical values even without the seq
+        guard.
 
         ``seq`` carries the same per-round idempotency contract as
         :meth:`handle_push` (token per logical message; duplicates are
@@ -181,6 +194,8 @@ class PSServer:
                 self.duplicate_pushes += 1
                 return
             applied.add(seq)
+        if isinstance(slab, CompressedSlab):
+            slab = slab.to_sparse(layout)
 
         # Materialize the slab's contribution over the hosted range.
         lo = max(f_lo, slab.col_lo)
@@ -205,6 +220,68 @@ class PSServer:
             rows[partition_id] = contrib
         else:
             stored += contrib
+
+    def handle_push_sketch(
+        self,
+        name: str,
+        partition_id: int,
+        payloads: list[tuple[int, bytes]],
+        seq: object | None = None,
+    ) -> None:
+        """Merge one worker's serialized sketches into the hosted state.
+
+        ``payloads`` is a list of ``(feature, wire_bytes)`` pairs — one
+        tagged :func:`repro.sketch.sketch_to_wire` frame per feature the
+        pushing worker has data for, all falling inside this partition's
+        element range.  Each incoming summary is merged (GK merge, errors
+        add) into the feature's stored summary in arrival order, which is
+        the same left-fold order the driver-side merge used, so the
+        merged result is bit-identical to centralizing the sketches.
+
+        ``seq`` follows the :meth:`handle_push` idempotency contract:
+        one token per logical message (the engine uses
+        ``("sketch", worker_id)``), duplicates counted, billed, and
+        ignored.  Tokens are freed with :meth:`clear_parameter`.
+        """
+        part = self._partition(name, partition_id)
+        self.bytes_received += sum(4 + len(wire) for _, wire in payloads)
+        if seq is not None:
+            applied = self._sketch_applied[name].setdefault(partition_id, set())
+            if seq in applied:
+                self.duplicate_pushes += 1
+                return
+            applied.add(seq)
+        sketches = self._sketches[name]
+        for feature, wire in payloads:
+            if not part.lo <= feature < part.hi:
+                raise PSError(
+                    f"sketch for feature {feature} pushed to partition "
+                    f"{partition_id} of {name!r} ([{part.lo}, {part.hi}))"
+                )
+            incoming = sketch_from_wire(wire)
+            stored = sketches.get(feature)
+            sketches[feature] = (
+                incoming if stored is None else stored.merge(incoming)
+            )
+
+    def handle_pull_sketch(
+        self, name: str, partition_id: int
+    ) -> list[tuple[int, bytes]]:
+        """Return the merged summaries of one hosted range, serialized.
+
+        The reply is ``(feature, wire_bytes)`` pairs in increasing
+        feature order; features no worker pushed a sketch for are simply
+        absent (the engine substitutes an empty sketch).
+        """
+        part = self._partition(name, partition_id)
+        sketches = self._sketches[name]
+        out = [
+            (feature, sketch_to_wire(sketches[feature]))
+            for feature in sorted(sketches)
+            if part.lo <= feature < part.hi
+        ]
+        self.bytes_sent += sum(4 + len(wire) for _, wire in out)
+        return out
 
     def handle_pull(self, name: str, row: int, partition_id: int) -> np.ndarray:
         """Return the stored values of one hosted range of ``row``."""
@@ -251,6 +328,8 @@ class PSServer:
             )
         self._rows[name] = {}
         self._applied[name] = {}
+        self._sketches[name] = {}
+        self._sketch_applied[name] = {}
 
     def stored_rows(self, name: str) -> list[int]:
         """Row ids currently materialized for ``name`` (sorted)."""

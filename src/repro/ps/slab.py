@@ -28,9 +28,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compression.lowprec import (
+    SUPPORTED_BITS,
+    BlockCompressedHistogram,
+    compress_blocked,
+    decompress_blocked,
+)
 from ..errors import PSError
 
-__all__ = ["SlabLayout", "SparseSlab", "slab_from_flat", "SLAB_HEADER_BYTES"]
+__all__ = [
+    "SlabLayout",
+    "SparseSlab",
+    "CompressedSlab",
+    "slab_from_flat",
+    "compress_slab",
+    "SLAB_HEADER_BYTES",
+]
 
 #: Bytes of the slab header: stripe range (2 ints) + sum_g/sum_h (2 floats).
 SLAB_HEADER_BYTES = 16
@@ -163,6 +176,183 @@ class SparseSlab:
     def wire_bytes(self) -> int:
         """Total wire size of the slab (single-message accounting)."""
         return self.wire_bytes_for(self.col_lo, self.col_hi)
+
+
+@dataclass(frozen=True)
+class CompressedSlab:
+    """A sparse slab whose value payload rides the low-precision codec.
+
+    The carried features' ``2 * K`` float64 segments are quantized with
+    the Section 6.1 stochastic-rounding codec (block-wise scales, so one
+    feature's large buckets cannot drown another's small ones).  The
+    header — stripe range, exact ``sum_g`` / ``sum_h``, and the present
+    feature ids — stays exact, which matters twice: absent features are
+    reconstructed from the sums with *no* quantization at all, and the
+    zero-bucket fold (an O(N)-mass entry in every present feature) is
+    subtracted before encoding and re-added exactly on the server, so the
+    codec only sees the small per-bucket residuals.
+
+    Wire format (charged to the cost model)::
+
+        header: col_lo, col_hi, sum_g, sum_h            -> 16 bytes
+        per present feature: feature id (4 bytes)
+                             2 * K packed d-bit values  -> ceil(2K*d/8)
+                             one float32 scale per scale
+                             block of ``block_size``    -> (2K/bs) * 4
+
+    Attributes:
+        col_lo, col_hi: The stripe, as in :class:`SparseSlab`.
+        features: Sorted int64 global feature ids carried.
+        blocked: The packed payload + per-block scales over all carried
+            segments (zero-bucket folds removed), in feature order.
+        sum_g, sum_h: The block's exact node gradient sums (uncompressed).
+        zero_bins: int64 array, the carried features' zero buckets — what
+            :meth:`to_sparse` needs to refold without the full layout.
+        n_bins: Bucket budget K.
+    """
+
+    col_lo: int
+    col_hi: int
+    features: np.ndarray
+    blocked: BlockCompressedHistogram
+    sum_g: float
+    sum_h: float
+    zero_bins: np.ndarray
+    n_bins: int
+
+    def __post_init__(self) -> None:
+        features = np.ascontiguousarray(self.features, dtype=np.int64)
+        zero_bins = np.ascontiguousarray(self.zero_bins, dtype=np.int64)
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "zero_bins", zero_bins)
+        if zero_bins.shape != features.shape:
+            raise PSError(
+                f"zero_bins shape {zero_bins.shape} does not match "
+                f"{len(features)} carried features"
+            )
+        width = 2 * self.n_bins
+        if self.blocked.n_values != len(features) * width:
+            raise PSError(
+                f"compressed payload carries {self.blocked.n_values} values; "
+                f"{len(features)} features with {self.n_bins} bins need "
+                f"{len(features) * width}"
+            )
+
+    @property
+    def bits(self) -> int:
+        """Fixed-point width of the value payload."""
+        return self.blocked.bits
+
+    @property
+    def n_present(self) -> int:
+        """Number of features actually carried."""
+        return len(self.features)
+
+    def _per_feature_bytes(self) -> int:
+        width = 2 * self.n_bins
+        payload = -(-width * self.blocked.bits // 8)
+        scales = (width // self.blocked.block_size) * 4
+        return 4 + payload + scales
+
+    def wire_bytes_for(self, f_lo: int, f_hi: int) -> int:
+        """Wire size of this slab's share for features ``[f_lo, f_hi)``.
+
+        Mirrors :meth:`SparseSlab.wire_bytes_for` with the float32 value
+        segment replaced by the packed payload plus its scales.
+        """
+        lo = max(f_lo, self.col_lo)
+        hi = min(f_hi, self.col_hi)
+        if lo >= hi:
+            return 0
+        present = int(
+            np.searchsorted(self.features, hi, side="left")
+            - np.searchsorted(self.features, lo, side="left")
+        )
+        return SLAB_HEADER_BYTES + present * self._per_feature_bytes()
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total wire size of the slab (single-message accounting)."""
+        return self.wire_bytes_for(self.col_lo, self.col_hi)
+
+    def to_sparse(self, layout: SlabLayout) -> SparseSlab:
+        """Decode into a :class:`SparseSlab` (server-side, rng-free).
+
+        Decoding is deterministic — the stochastic rounding happened at
+        encode time — so every server partition decoding the same slab
+        reconstructs identical values, and a retried delivery decodes to
+        the same contribution it would have made the first time.
+        """
+        width = 2 * self.n_bins
+        if layout.n_bins != self.n_bins:
+            raise PSError(
+                f"slab was compressed for K={self.n_bins}, layout has "
+                f"K={layout.n_bins}"
+            )
+        values = decompress_blocked(self.blocked).reshape(-1, width)
+        if len(self.features):
+            rows = np.arange(len(self.features), dtype=np.int64)
+            values[rows, self.zero_bins] += self.sum_g
+            values[rows, self.n_bins + self.zero_bins] += self.sum_h
+        return SparseSlab(
+            col_lo=self.col_lo,
+            col_hi=self.col_hi,
+            features=self.features,
+            values=values,
+            sum_g=self.sum_g,
+            sum_h=self.sum_h,
+        )
+
+
+def compress_slab(
+    slab: SparseSlab,
+    layout: SlabLayout,
+    bits: int,
+    rng: np.random.Generator,
+    block_size: int | None = None,
+) -> CompressedSlab:
+    """Quantize a slab's value payload for the wire.
+
+    The zero-bucket folds (``sum_g`` / ``sum_h``, already exact in the
+    header) are subtracted from every carried feature before encoding —
+    they carry O(N) mass and would otherwise dominate every scale —
+    and re-added exactly by :meth:`CompressedSlab.to_sparse`.
+
+    Args:
+        slab: The sparse slab to compress.
+        layout: The parameter's histogram layout (zero-bucket table).
+        bits: Fixed-point width, one of ``SUPPORTED_BITS``.
+        rng: Stochastic-rounding dither source.  Compression happens once
+            per slab, *before* fan-out to partitions, so the rounding
+            stream is independent of the partition layout.
+        block_size: Values per fixed-point scale; defaults to ``n_bins``
+            (one scale per g-histogram and one per h-histogram).
+    """
+    if bits not in SUPPORTED_BITS:
+        raise PSError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    width = layout.feature_width
+    block = layout.n_bins if block_size is None else int(block_size)
+    if block < 1 or width % block != 0:
+        raise PSError(
+            f"compression block {block} must divide the feature width {width}"
+        )
+    zero_bins = layout.zero_bins[slab.features]
+    residual = slab.values.copy()
+    if len(slab.features):
+        rows = np.arange(len(slab.features), dtype=np.int64)
+        residual[rows, zero_bins] -= slab.sum_g
+        residual[rows, layout.n_bins + zero_bins] -= slab.sum_h
+    blocked = compress_blocked(residual.ravel(), block, bits, rng)
+    return CompressedSlab(
+        col_lo=slab.col_lo,
+        col_hi=slab.col_hi,
+        features=slab.features,
+        blocked=blocked,
+        sum_g=slab.sum_g,
+        sum_h=slab.sum_h,
+        zero_bins=zero_bins,
+        n_bins=layout.n_bins,
+    )
 
 
 def slab_from_flat(

@@ -13,7 +13,14 @@ to generate quantile sketches").  This package provides:
   bucketization used by the histogram builders (Algorithm 1 line 2).
 """
 
-from .quantile import GKSketch, sketch_columns
+from .quantile import (
+    GKSketch,
+    WeightedGKSketch,
+    sketch_columns,
+    sketch_columns_weighted,
+    sketch_from_wire,
+    sketch_to_wire,
+)
 from .candidates import (
     CandidateSet,
     propose_candidates,
@@ -23,7 +30,11 @@ from .candidates import (
 
 __all__ = [
     "GKSketch",
+    "WeightedGKSketch",
     "sketch_columns",
+    "sketch_columns_weighted",
+    "sketch_from_wire",
+    "sketch_to_wire",
     "CandidateSet",
     "propose_candidates",
     "propose_candidates_from_sketches",

@@ -63,23 +63,10 @@ class GKSketch:
         The result has at most ``ceil(1 / (2 * eps)) + 2`` entries and zero
         delta everywhere, hence rank error at most ``eps * n``.
         """
-        sketch = cls(eps)
         arr = np.sort(np.asarray(values, dtype=np.float64))
-        n = len(arr)
-        if n == 0:
-            return sketch
-        step = max(1, int(math.floor(2.0 * eps * n)))
-        positions = list(range(0, n, step))
-        if positions[-1] != n - 1:
-            positions.append(n - 1)
-        prev = -1
-        for pos in positions:
-            sketch._values.append(float(arr[pos]))
-            sketch._g.append(pos - prev)
-            sketch._delta.append(0)
-            prev = pos
-        sketch.count = n
-        return sketch
+        if len(arr) == 0:
+            return cls(eps)
+        return _from_presorted(arr, eps)
 
     def insert(self, value: float) -> None:
         """Insert one value (streaming GK insertion with compression)."""
@@ -149,6 +136,10 @@ class GKSketch:
         error is bounded by ``self.eps * self.count + other.eps *
         other.count`` — i.e. the errors add, they do not multiply.
         """
+        if not isinstance(other, GKSketch):
+            raise SketchError(
+                f"cannot merge GKSketch with {type(other).__name__}"
+            )
         if other.count == 0:
             return self.copy()
         if self.count == 0:
@@ -157,26 +148,39 @@ class GKSketch:
             return merged
         out = GKSketch(max(self.eps, other.eps))
         out.count = self.count + other.count
-        ia, ib = 0, 0
         err_a = int(math.floor(2.0 * self.eps * self.count))
         err_b = int(math.floor(2.0 * other.eps * other.count))
-        while ia < len(self._values) or ib < len(other._values):
-            take_a = ib >= len(other._values) or (
-                ia < len(self._values) and self._values[ia] <= other._values[ib]
+        # Both inputs are sorted, so a stable sort of the concatenation
+        # (self first) reproduces the classic two-pointer interleave,
+        # including its take-self-on-ties rule.
+        values = np.concatenate(
+            (
+                np.asarray(self._values, dtype=np.float64),
+                np.asarray(other._values, dtype=np.float64),
             )
-            if take_a:
-                out._values.append(self._values[ia])
-                out._g.append(self._g[ia])
-                out._delta.append(self._delta[ia] + err_b)
-                ia += 1
-            else:
-                out._values.append(other._values[ib])
-                out._g.append(other._g[ib])
-                out._delta.append(other._delta[ib] + err_a)
-                ib += 1
+        )
+        gs = np.concatenate(
+            (
+                np.asarray(self._g, dtype=np.int64),
+                np.asarray(other._g, dtype=np.int64),
+            )
+        )
+        deltas = np.concatenate(
+            (
+                np.asarray(self._delta, dtype=np.int64) + err_b,
+                np.asarray(other._delta, dtype=np.int64) + err_a,
+            )
+        )
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        gs = gs[order]
+        deltas = deltas[order]
         # Extremes must carry zero delta for exact min/max queries.
-        out._delta[0] = 0
-        out._delta[-1] = 0
+        deltas[0] = 0
+        deltas[-1] = 0
+        out._values = values.tolist()
+        out._g = gs.tolist()
+        out._delta = deltas.tolist()
         out._compress_merged()
         return out
 
@@ -186,23 +190,36 @@ class GKSketch:
         if len(self._values) <= target:
             return
         # Reduce to ~target entries by combining adjacent entries evenly.
-        values = [self._values[0]]
-        gs = [self._g[0]]
-        deltas = [self._delta[0]]
+        # The extremes are kept verbatim; interior entries are grouped
+        # greedily so each group's total g stays within the budget (a group
+        # always takes at least one entry).  Group boundaries come from one
+        # searchsorted per group over the cumulative g — O(target log n)
+        # instead of a Python loop over every entry.
         budget = max(1, int(math.ceil(sum(self._g) / max(1, target - 2))))
-        for i in range(1, len(self._values) - 1):
-            if gs[-1] + self._g[i] <= budget and len(values) > 1:
-                gs[-1] += self._g[i]
-                values[-1] = self._values[i]
-                deltas[-1] = max(deltas[-1], self._delta[i])
-            else:
-                values.append(self._values[i])
-                gs.append(self._g[i])
-                deltas.append(self._delta[i])
-        values.append(self._values[-1])
-        gs.append(self._g[-1])
-        deltas.append(self._delta[-1])
-        self._values, self._g, self._delta = values, gs, deltas
+        values = np.asarray(self._values, dtype=np.float64)
+        gs = np.asarray(self._g, dtype=np.int64)
+        deltas = np.asarray(self._delta, dtype=np.int64)
+        interior_g = gs[1:-1]
+        cum = np.cumsum(interior_g)
+        starts: list[int] = []
+        s = 0
+        n_interior = len(interior_g)
+        while s < n_interior:
+            starts.append(s)
+            base = cum[s] - interior_g[s]
+            s = max(s + 1, int(np.searchsorted(cum, base + budget, side="right")))
+        start_idx = np.asarray(starts, dtype=np.int64)
+        end_idx = np.append(start_idx[1:], n_interior)
+        grouped_g = np.add.reduceat(interior_g, start_idx)
+        grouped_delta = np.maximum.reduceat(deltas[1:-1], start_idx)
+        grouped_values = values[1:-1][end_idx - 1]
+        self._values = (
+            [float(values[0])] + grouped_values.tolist() + [float(values[-1])]
+        )
+        self._g = [int(gs[0])] + grouped_g.tolist() + [int(gs[-1])]
+        self._delta = (
+            [int(deltas[0])] + grouped_delta.tolist() + [int(deltas[-1])]
+        )
 
     def copy(self) -> "GKSketch":
         """Return a deep copy."""
@@ -299,13 +316,12 @@ class GKSketch:
             raise SketchError(f"quantile must be in [0, 1], got {quantile}")
         target = quantile * self.count
         slack = self.eps * self.count
-        rank_min = 0
-        for i in range(len(self._values)):
-            rank_min += self._g[i]
-            rank_max = rank_min + self._delta[i]
-            if target <= rank_max + slack and target <= rank_min + slack:
-                return self._values[i]
-        return self._values[-1]
+        rank_min = np.cumsum(np.asarray(self._g, dtype=np.int64))
+        rank_max = rank_min + np.asarray(self._delta, dtype=np.int64)
+        ok = (target <= rank_max + slack) & (target <= rank_min + slack)
+        if not ok.any():
+            return self._values[-1]
+        return self._values[int(np.argmax(ok))]
 
     def quantiles(self, k: int) -> np.ndarray:
         """Return ``k`` evenly spaced interior quantiles (1/(k+1) .. k/(k+1))."""
@@ -324,6 +340,286 @@ class GKSketch:
                 return rank_min, rank_min + (self._delta[i - 1] if i else 0)
             rank_min += self._g[i]
         return rank_min, rank_min
+
+
+class WeightedGKSketch:
+    """Weighted mergeable quantile summary (hessian-weighted entries).
+
+    Follows the mergeable weighted quantile construction of Huang & Yi
+    (arXiv:1909.07633): entries are ``(value, g, delta)`` exactly as in
+    :class:`GKSketch`, but ``g`` and ``delta`` live in *weighted* rank
+    space (float64) and the invariant is ``g + delta <= 2 * eps * W`` for
+    total weight ``W``.  Items whose individual weight exceeds the
+    sampling step are necessarily retained as exact entries, so heavy
+    items never hide inside a gap.  Merging concatenates and
+    re-compresses with the error bounds adding, exactly as in the
+    unweighted case, so distributed use builds local summaries at
+    ``eps / 2`` to end below ``eps`` after one merge level.
+
+    Attributes:
+        eps: Target weighted-rank-error fraction.
+        count: Number of items summarized.
+        total_weight: Total weight summarized.
+    """
+
+    __slots__ = ("eps", "count", "total_weight", "_values", "_g", "_delta")
+
+    def __init__(self, eps: float = 0.01) -> None:
+        if not 0.0 < eps < 0.5:
+            raise SketchError(f"eps must be in (0, 0.5), got {eps}")
+        self.eps = float(eps)
+        self.count = 0
+        self.total_weight = 0.0
+        self._values: list[float] = []
+        self._g: list[float] = []
+        self._delta: list[float] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float] | np.ndarray,
+        weights: Sequence[float] | np.ndarray,
+        eps: float = 0.01,
+    ) -> "WeightedGKSketch":
+        """Build a summary from a batch of (value, weight) pairs."""
+        arr = np.asarray(values, dtype=np.float64)
+        wts = np.asarray(weights, dtype=np.float64)
+        if arr.shape != wts.shape:
+            raise SketchError(
+                f"values and weights differ in shape: {arr.shape} vs {wts.shape}"
+            )
+        if arr.size and float(wts.min()) < 0.0:
+            raise SketchError("weights must be non-negative")
+        order = np.argsort(arr, kind="stable")
+        return _from_presorted_weighted(arr[order], wts[order], eps)
+
+    def _max_entries(self) -> int:
+        return int(3.0 / self.eps) + 8
+
+    # ------------------------------------------------------------------
+    # merging (PS-side aggregation)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "WeightedGKSketch") -> "WeightedGKSketch":
+        """Return a new summary covering both inputs (errors add)."""
+        if not isinstance(other, WeightedGKSketch):
+            raise SketchError(
+                f"cannot merge WeightedGKSketch with {type(other).__name__}"
+            )
+        if other.count == 0:
+            return self.copy()
+        if self.count == 0:
+            merged = other.copy()
+            merged.eps = max(self.eps, other.eps)
+            return merged
+        out = WeightedGKSketch(max(self.eps, other.eps))
+        out.count = self.count + other.count
+        out.total_weight = self.total_weight + other.total_weight
+        err_a = 2.0 * self.eps * self.total_weight
+        err_b = 2.0 * other.eps * other.total_weight
+        values = np.concatenate(
+            (
+                np.asarray(self._values, dtype=np.float64),
+                np.asarray(other._values, dtype=np.float64),
+            )
+        )
+        gs = np.concatenate(
+            (
+                np.asarray(self._g, dtype=np.float64),
+                np.asarray(other._g, dtype=np.float64),
+            )
+        )
+        deltas = np.concatenate(
+            (
+                np.asarray(self._delta, dtype=np.float64) + err_b,
+                np.asarray(other._delta, dtype=np.float64) + err_a,
+            )
+        )
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        gs = gs[order]
+        deltas = deltas[order]
+        deltas[0] = 0.0
+        deltas[-1] = 0.0
+        out._values = values.tolist()
+        out._g = gs.tolist()
+        out._delta = deltas.tolist()
+        out._compress_merged()
+        return out
+
+    def _compress_merged(self) -> None:
+        """Size-driven compression after merge (weighted-g budget)."""
+        target = self._max_entries()
+        if len(self._values) <= target:
+            return
+        values = np.asarray(self._values, dtype=np.float64)
+        gs = np.asarray(self._g, dtype=np.float64)
+        deltas = np.asarray(self._delta, dtype=np.float64)
+        budget = max(
+            float(gs.sum()) / max(1, target - 2), np.finfo(np.float64).tiny
+        )
+        interior_g = gs[1:-1]
+        cum = np.cumsum(interior_g)
+        starts: list[int] = []
+        s = 0
+        n_interior = len(interior_g)
+        while s < n_interior:
+            starts.append(s)
+            base = cum[s] - interior_g[s]
+            s = max(s + 1, int(np.searchsorted(cum, base + budget, side="right")))
+        start_idx = np.asarray(starts, dtype=np.int64)
+        end_idx = np.append(start_idx[1:], n_interior)
+        grouped_g = np.add.reduceat(interior_g, start_idx)
+        grouped_delta = np.maximum.reduceat(deltas[1:-1], start_idx)
+        grouped_values = values[1:-1][end_idx - 1]
+        self._values = (
+            [float(values[0])] + grouped_values.tolist() + [float(values[-1])]
+        )
+        self._g = [float(gs[0])] + grouped_g.tolist() + [float(gs[-1])]
+        self._delta = (
+            [float(deltas[0])] + grouped_delta.tolist() + [float(deltas[-1])]
+        )
+
+    def copy(self) -> "WeightedGKSketch":
+        """Return a deep copy."""
+        out = WeightedGKSketch(self.eps)
+        out.count = self.count
+        out.total_weight = self.total_weight
+        out._values = list(self._values)
+        out._g = list(self._g)
+        out._delta = list(self._delta)
+        return out
+
+    # ------------------------------------------------------------------
+    # wire serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the PS push.
+
+        Layout: float64 eps, float64 total_weight, int64 count, int32
+        n_entries, then three parallel float64 arrays (values, g, delta).
+        """
+        header = np.empty(2, dtype=np.float64)
+        header[0] = self.eps
+        header[1] = self.total_weight
+        count = np.asarray([self.count], dtype=np.int64)
+        n = np.asarray([len(self._values)], dtype=np.int32)
+        values = np.asarray(self._values, dtype=np.float64)
+        gs = np.asarray(self._g, dtype=np.float64)
+        deltas = np.asarray(self._delta, dtype=np.float64)
+        return b"".join(
+            arr.tobytes() for arr in (header, count, n, values, gs, deltas)
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "WeightedGKSketch":
+        """Inverse of :meth:`to_bytes`."""
+        if len(payload) < 28:
+            raise SketchError(f"sketch payload too short ({len(payload)} bytes)")
+        header = np.frombuffer(payload, dtype=np.float64, count=2)
+        count = int(np.frombuffer(payload, dtype=np.int64, count=1, offset=16)[0])
+        n = int(np.frombuffer(payload, dtype=np.int32, count=1, offset=24)[0])
+        expected = 28 + n * 24
+        if len(payload) != expected:
+            raise SketchError(
+                f"sketch payload has {len(payload)} bytes, expected {expected}"
+            )
+        sketch = cls(float(header[0]))
+        sketch.count = count
+        sketch.total_weight = float(header[1])
+        offset = 28
+        sketch._values = list(
+            np.frombuffer(payload, dtype=np.float64, count=n, offset=offset)
+        )
+        offset += 8 * n
+        sketch._g = list(
+            np.frombuffer(payload, dtype=np.float64, count=n, offset=offset)
+        )
+        offset += 8 * n
+        sketch._delta = list(
+            np.frombuffer(payload, dtype=np.float64, count=n, offset=offset)
+        )
+        return sketch
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size of :meth:`to_bytes` without materializing it."""
+        return 28 + len(self._values) * 24
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest value observed."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        return self._values[0]
+
+    @property
+    def max_value(self) -> float:
+        """Largest value observed."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        return self._values[-1]
+
+    def query(self, quantile: float) -> float:
+        """Return a value whose weighted rank is within ``eps * W`` of
+        ``quantile * W``."""
+        if self.count == 0:
+            raise SketchError("cannot query an empty sketch")
+        if not 0.0 <= quantile <= 1.0:
+            raise SketchError(f"quantile must be in [0, 1], got {quantile}")
+        target = quantile * self.total_weight
+        slack = self.eps * self.total_weight
+        rank_min = np.cumsum(np.asarray(self._g, dtype=np.float64))
+        rank_max = rank_min + np.asarray(self._delta, dtype=np.float64)
+        ok = (target <= rank_max + slack) & (target <= rank_min + slack)
+        if not ok.any():
+            return self._values[-1]
+        return self._values[int(np.argmax(ok))]
+
+    def quantiles(self, k: int) -> np.ndarray:
+        """Return ``k`` evenly spaced interior quantiles (1/(k+1) .. k/(k+1))."""
+        if k < 1:
+            raise SketchError(f"k must be >= 1, got {k}")
+        qs = np.arange(1, k + 1, dtype=np.float64) / (k + 1)
+        return np.asarray([self.query(q) for q in qs], dtype=np.float64)
+
+
+def _from_presorted_weighted(
+    sorted_values: np.ndarray, weights: np.ndarray, eps: float
+) -> WeightedGKSketch:
+    """Build a weighted summary from values presorted ascending."""
+    sketch = WeightedGKSketch(eps)
+    n = len(sorted_values)
+    if n == 0:
+        return sketch
+    cum_weight = np.cumsum(weights)
+    total = float(cum_weight[-1])
+    if total <= 0.0:
+        # All-zero weights carry no rank information; summarize nothing.
+        return sketch
+    step = 2.0 * eps * total
+    thresholds = np.arange(step, total, step, dtype=np.float64)
+    positions = np.searchsorted(cum_weight, thresholds, side="left")
+    positions = np.unique(np.concatenate(([0], positions, [n - 1])))
+    kept = cum_weight[positions]
+    sketch._values = sorted_values[positions].astype(np.float64).tolist()
+    sketch._g = np.diff(kept, prepend=0.0).tolist()
+    sketch._delta = [0.0] * len(positions)
+    sketch.count = n
+    sketch.total_weight = total
+    return sketch
 
 
 def sketch_columns(
@@ -369,14 +665,99 @@ def _from_presorted(sorted_values: np.ndarray, eps: float) -> GKSketch:
     sketch = GKSketch(eps)
     n = len(sorted_values)
     step = max(1, int(math.floor(2.0 * eps * n)))
-    positions = list(range(0, n, step))
+    positions = np.arange(0, n, step, dtype=np.int64)
     if positions[-1] != n - 1:
-        positions.append(n - 1)
-    prev = -1
-    for pos in positions:
-        sketch._values.append(float(sorted_values[pos]))
-        sketch._g.append(pos - prev)
-        sketch._delta.append(0)
-        prev = pos
+        positions = np.append(positions, n - 1)
+    sketch._values = sorted_values[positions].astype(np.float64).tolist()
+    sketch._g = np.diff(positions, prepend=-1).tolist()
+    sketch._delta = [0] * len(positions)
     sketch.count = n
     return sketch
+
+
+def sketch_columns_weighted(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    n_cols: int,
+    row_weights: np.ndarray,
+    eps: float = 0.01,
+) -> list[WeightedGKSketch]:
+    """Build one weighted summary per column of a CSR matrix.
+
+    Each stored value is weighted by its row's weight (the engine passes
+    per-instance hessians or sample weights), so the proposed cut points
+    equalize *weight* mass per bucket rather than instance mass — the
+    weighted candidate rule of Huang & Yi / XGBoost.
+
+    Args:
+        indptr, indices, data: CSR arrays.
+        n_cols: Number of columns (features).
+        row_weights: One weight per row, ``len(indptr) - 1`` entries.
+        eps: Weighted-rank-error target of each summary.
+
+    Returns:
+        A list of ``n_cols`` sketches; columns with no stored values get
+        an empty sketch.
+    """
+    n_rows = len(indptr) - 1
+    weights = np.asarray(row_weights, dtype=np.float64)
+    if len(weights) != n_rows:
+        raise SketchError(
+            f"row_weights has {len(weights)} entries for {n_rows} rows"
+        )
+    row_of = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+    nnz_weights = weights[row_of]
+    order = np.lexsort((data, indices))
+    sorted_cols = indices[order]
+    sorted_vals = data[order].astype(np.float64)
+    sorted_wts = nnz_weights[order]
+    boundaries = np.searchsorted(sorted_cols, np.arange(n_cols + 1))
+    sketches: list[WeightedGKSketch] = []
+    for col in range(n_cols):
+        lo, hi = int(boundaries[col]), int(boundaries[col + 1])
+        if hi > lo:
+            sketches.append(
+                _from_presorted_weighted(
+                    sorted_vals[lo:hi], sorted_wts[lo:hi], eps
+                )
+            )
+        else:
+            sketches.append(WeightedGKSketch(eps))
+    return sketches
+
+
+# ----------------------------------------------------------------------
+# tagged wire format (what push_sketch actually sends)
+# ----------------------------------------------------------------------
+
+_WIRE_KIND_GK = 0
+_WIRE_KIND_WEIGHTED = 1
+
+AnySketch = GKSketch | WeightedGKSketch
+
+
+def sketch_to_wire(sketch: AnySketch) -> bytes:
+    """Frame a sketch for the fabric: 1-byte kind tag + ``to_bytes``.
+
+    The tag lets the server host unweighted and weighted summaries behind
+    the same handler without guessing from payload length.  The untagged
+    :meth:`GKSketch.to_bytes` layout is unchanged.
+    """
+    if isinstance(sketch, WeightedGKSketch):
+        return bytes([_WIRE_KIND_WEIGHTED]) + sketch.to_bytes()
+    if isinstance(sketch, GKSketch):
+        return bytes([_WIRE_KIND_GK]) + sketch.to_bytes()
+    raise SketchError(f"cannot serialize {type(sketch).__name__} for the wire")
+
+
+def sketch_from_wire(payload: bytes) -> AnySketch:
+    """Inverse of :func:`sketch_to_wire`."""
+    if len(payload) < 1:
+        raise SketchError("empty sketch wire payload")
+    kind = payload[0]
+    if kind == _WIRE_KIND_GK:
+        return GKSketch.from_bytes(payload[1:])
+    if kind == _WIRE_KIND_WEIGHTED:
+        return WeightedGKSketch.from_bytes(payload[1:])
+    raise SketchError(f"unknown sketch wire tag {kind}")

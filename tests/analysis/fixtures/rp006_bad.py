@@ -27,9 +27,24 @@ class ForgetfulServer:
         self._rows[(name, row)] = values
 
 
+class SketchServer:
+    """handle_push_sketch without seq: a re-pushed sketch merges twice."""
+
+    def __init__(self) -> None:
+        self._sketches: dict = {}
+
+    def handle_push_sketch(self, name, partition_id, payloads) -> None:  # expect: RP006
+        for feature, payload in payloads:
+            self._sketches[(name, feature)] = payload
+
+
 class Group:
     def __init__(self, server: Server) -> None:
         self.server = server
 
     def push_row(self, name: str, row: int, values: np.ndarray) -> None:  # expect: RP006
         self.server.handle_push(name, row, values)  # expect: RP006
+
+    def push_sketch(self, name: str, sketches: dict) -> None:  # expect: RP006
+        payloads = sorted(sketches.items())
+        self.server.handle_push_sketch(name, 0, payloads)  # expect: RP006

@@ -21,6 +21,21 @@ class Server:
             stored += values
 
 
+class SketchServer:
+    def __init__(self) -> None:
+        self._sketches: dict = {}
+        self._applied: dict = {}
+
+    def handle_push_sketch(self, name, partition_id, payloads, seq=None):
+        if seq is not None:
+            applied = self._applied.setdefault((name, partition_id), set())
+            if seq in applied:
+                return
+            applied.add(seq)
+        for feature, payload in payloads:
+            self._sketches[(name, feature)] = payload
+
+
 class Group:
     def __init__(self, server: Server) -> None:
         self.server = server
@@ -29,3 +44,9 @@ class Group:
         self, name: str, row: int, values: np.ndarray, seq: object | None = None
     ) -> None:
         self.server.handle_push(name, row, values, seq=seq)
+
+    def push_sketch(
+        self, name: str, sketches: dict, seq: object | None = None
+    ) -> None:
+        payloads = sorted(sketches.items())
+        self.server.handle_push_sketch(name, 0, payloads, seq=seq)

@@ -1,0 +1,105 @@
+"""Property tests for the fixed-point codec's bit packers.
+
+Hypothesis drives the sub-byte packers (2- and 4-bit, where multiple
+levels share one byte) across arbitrary lengths — in particular lengths
+that do not fill the last byte — plus the all-zero and round-trip error
+properties the docstring of :mod:`repro.compression.lowprec` promises:
+``|q'' - q| <= scale_max / S`` with ``S = 2**(d-1) - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lowprec import (
+    SUPPORTED_BITS,
+    _int_scale,
+    _pack,
+    _unpack,
+    compress_flat,
+    decompress_flat,
+)
+
+sub_byte_bits = st.sampled_from([2, 4])
+all_bits = st.sampled_from(SUPPORTED_BITS)
+
+
+@st.composite
+def levels_arrays(draw, bits):
+    """Unsigned levels that fit in ``bits`` (the packers' input domain)."""
+    n = draw(st.integers(min_value=0, max_value=67))
+    top = (1 << bits) - 1
+    vals = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=top), min_size=n, max_size=n
+        )
+    )
+    return np.asarray(vals, dtype=np.int64)
+
+
+@given(bits=sub_byte_bits, data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_pack_unpack_round_trips_any_length(bits, data):
+    levels = data.draw(levels_arrays(bits))
+    packed = _pack(levels, bits)
+    assert packed.dtype == np.uint8
+    per_byte = 8 // bits
+    assert len(packed) == -(-len(levels) // per_byte)
+    np.testing.assert_array_equal(_unpack(packed, bits, len(levels)), levels)
+
+
+@given(bits=sub_byte_bits, n=st.integers(min_value=0, max_value=65))
+def test_odd_length_padding_is_zero(bits, n):
+    """The pad levels of a partially-filled last byte are zeros, so the
+    packed payload of an all-zero input is all-zero bytes."""
+    packed = _pack(np.zeros(n, dtype=np.int64), bits)
+    assert not packed.any()
+    np.testing.assert_array_equal(
+        _unpack(packed, bits, n), np.zeros(n, dtype=np.int64)
+    )
+
+
+@given(bits=all_bits, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_round_trip_error_bounded(bits, data):
+    """Codec promise: per-value error at most ``scale_max / S``."""
+    n = data.draw(st.integers(min_value=1, max_value=50))
+    vals = data.draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    flat = np.asarray(vals, dtype=np.float64)
+    seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+    compressed = compress_flat(flat, bits, np.random.default_rng(seed))
+    restored = decompress_flat(compressed)
+    bound = compressed.scale_max / _int_scale(bits)
+    assert np.all(np.abs(restored - flat) <= bound + 1e-12 * compressed.scale_max)
+
+
+@given(bits=all_bits, n=st.integers(min_value=0, max_value=40))
+def test_all_zero_input_restores_exactly(bits, n):
+    flat = np.zeros(n, dtype=np.float64)
+    compressed = compress_flat(flat, bits, np.random.default_rng(0))
+    assert compressed.scale_max == 0.0
+    np.testing.assert_array_equal(decompress_flat(compressed), flat)
+
+
+@given(bits=sub_byte_bits, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_unpack_is_prefix_stable(bits, data):
+    """Unpacking fewer values than packed reads a clean prefix — the
+    guarantee the blocked decoder relies on for the final short block."""
+    levels = data.draw(levels_arrays(bits))
+    packed = _pack(levels, bits)
+    k = data.draw(st.integers(min_value=0, max_value=len(levels)))
+    np.testing.assert_array_equal(_unpack(packed, bits, k), levels[:k])

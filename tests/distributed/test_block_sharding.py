@@ -123,16 +123,17 @@ class TestGuards:
                 config,
             )
 
-    def test_compression_rejected(self, data):
-        """Per-worker stochastic-rounding streams differ between layouts;
-        compression would break bit-identity, so it is refused."""
-        with pytest.raises(ConfigError, match="compression"):
-            train_distributed(
-                "dimboost",
-                data,
-                ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2)),
-                TrainConfig(n_trees=2, compression_bits=8),
-            )
+    def test_compressed_grid_trains(self, data):
+        """The former compression_bits=0 grid guard is lifted: slab value
+        payloads ride the stochastic-rounding codec end to end.  The
+        compressed run trains (losing bit-identity with bits=0, which is
+        the point of quantization) and remains deterministic."""
+        cluster = ClusterConfig(n_workers=4, n_servers=2, grid=(2, 2))
+        config = TrainConfig(n_trees=2, compression_bits=8)
+        first = train_distributed("dimboost", data, cluster, config)
+        second = train_distributed("dimboost", data, cluster, config)
+        assert len(first.model.trees) == 2
+        assert trees_of(first) == trees_of(second)
 
     def test_grid_must_match_workers(self):
         with pytest.raises(ConfigError, match="grid"):
