@@ -439,8 +439,9 @@ class PSSequenceToken(Rule):
     code = "RP006"
     name = "ps-seq-token"
     summary = (
-        "handle_push/push_row (and the slab and sketch variants) take "
-        "and use a seq parameter; every call site forwards seq="
+        "handle_push/push_row (and the slab, sketch, and windowed "
+        "variants) take and use a seq parameter; every call site "
+        "forwards seq="
     )
     invariant = (
         "idempotent PS pushes under retry/duplication (PR 3 recovery: "
@@ -448,9 +449,20 @@ class PSSequenceToken(Rule):
     )
 
     #: Server-side handlers that must accept *and read* ``seq``.
-    _HANDLER_NAMES = ("handle_push", "handle_push_slab", "handle_push_sketch")
+    _HANDLER_NAMES = (
+        "handle_push",
+        "handle_push_slab",
+        "handle_push_sketch",
+        "handle_push_window",
+    )
     #: Client-side pushers that must accept ``seq`` to forward it.
-    _PUSHER_NAMES = ("push_row", "push_slab", "push_sketch")
+    _PUSHER_NAMES = (
+        "push_row",
+        "push_slab",
+        "push_sketch",
+        "push_window",
+        "push_window_rows",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         in_ps = "ps" in ctx.path_parts

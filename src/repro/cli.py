@@ -133,6 +133,8 @@ def _config_from_args(args: argparse.Namespace, bits: int = 0) -> TrainConfig:
         seed=args.seed,
         max_retries=getattr(args, "max_retries", 3),
         checkpoint_every=getattr(args, "checkpoint_every", 1),
+        agg_window=getattr(args, "agg_window", 1),
+        staleness=getattr(args, "staleness", 0),
     )
 
 
@@ -168,6 +170,14 @@ def cmd_train(args: argparse.Namespace) -> int:
         print(
             "error: --grid requires --system (block sharding targets the "
             "simulated cluster)",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.agg_window > 1 or args.staleness > 0) and not args.system:
+        print(
+            "error: --agg-window/--staleness require --system (local "
+            "aggregation and bounded staleness target the simulated "
+            "cluster)",
             file=sys.stderr,
         )
         return 2
@@ -357,6 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="boosting rounds between recovery checkpoints",
+    )
+    train.add_argument(
+        "--agg-window",
+        type=int,
+        default=1,
+        help="histogram deltas folded locally into one windowed PS push "
+        "(requires --system; 1 = push per node; any value is "
+        "bit-identical)",
+    )
+    train.add_argument(
+        "--staleness",
+        type=int,
+        default=0,
+        help="bounded-staleness bound S: workers may run up to S tree "
+        "layers ahead (requires --system; 0 = synchronous barriers, "
+        "bit-identical to default)",
     )
     _add_train_options(train)
     train.set_defaults(func=cmd_train)

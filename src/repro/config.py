@@ -78,6 +78,19 @@ class TrainConfig:
             this budget raises ``ClusterFaultError``.
         checkpoint_every: Cadence (in completed boosting rounds) of the
             recovery checkpoints a faulted run can roll back to.
+        agg_window: Local-aggregation window for distributed histogram
+            pushes: workers fold this many node deltas into one batched
+            PS message before communicating (Horovod's
+            ``LocalGradientAggregationHelper`` applied to histogram
+            slabs).  1 (default) pushes every node delta immediately;
+            any value leaves the trained model bit-identical.
+        staleness: Bounded-staleness bound ``S`` for layer barriers in
+            distributed training: workers may run up to ``S`` tree
+            layers ahead of the slowest peer, and barrier costs are
+            charged once per ``S + 1`` layers instead of per layer.
+            0 (default) keeps DimBoost's fully synchronous barrier and
+            is bit-identical to it; ``S >= 1`` trades bounded score
+            staleness for less barrier time.
     """
 
     n_trees: int = 20
@@ -100,6 +113,8 @@ class TrainConfig:
     seed: int = 0
     max_retries: int = 3
     checkpoint_every: int = 1
+    agg_window: int = 1
+    staleness: int = 0
 
     def __post_init__(self) -> None:
         _require(self.n_trees >= 1, f"n_trees must be >= 1, got {self.n_trees}")
@@ -160,6 +175,14 @@ class TrainConfig:
         _require(
             self.checkpoint_every >= 1,
             f"checkpoint_every must be >= 1, got {self.checkpoint_every}",
+        )
+        _require(
+            self.agg_window >= 1,
+            f"agg_window must be >= 1, got {self.agg_window}",
+        )
+        _require(
+            self.staleness >= 0,
+            f"staleness must be >= 0, got {self.staleness}",
         )
 
     @property

@@ -28,11 +28,18 @@ from ..cluster.collectives import (
 )
 from ..cluster.costmodel import CostParams, log2_steps
 from ..cluster.simclock import SimClock
+from ..compression.lowprec import (
+    compress_blocked,
+    compress_flat,
+    decompress_blocked,
+    decompress_flat,
+)
 from ..config import ClusterConfig, TrainConfig
 from ..errors import ConfigError, TrainingError
 from ..ps.group import ParameterServerGroup
+from ..ps.localagg import LocalAggregator
 from ..ps.partitioner import Partition
-from ..ps.slab import SlabLayout, SparseSlab
+from ..ps.slab import CompressedSlab, SlabLayout, SparseSlab, compress_slab, slab_from_flat
 from ..sketch.candidates import CandidateSet
 from ..tree.split import SplitDecision, best_split_in_range, combine_shard_decisions
 from ..utils.rng import spawn_rng
@@ -90,6 +97,10 @@ class AggregationBackend(ABC):
     #: backends can: the server reconstructs absent features from the
     #: slab sums, which collectives have no place to do.
     supports_slab_push: bool = False
+    #: Whether the backend accepts locally-aggregated windowed pushes
+    #: (``TrainConfig.agg_window > 1``).  PS backends only — collectives
+    #: have no server-side seq-token seam to deduplicate a window on.
+    supports_windowed_push: bool = False
 
     def __init__(
         self,
@@ -371,7 +382,272 @@ def _ps_aggregate_slabs(
     )
 
 
-class TencentBoostBackend(AggregationBackend):
+class _PieceWindowBuffer:
+    """Window buffer of pre-encoded dense row pieces for one worker.
+
+    The dense lossy codec is partition-scoped (``push_row`` quantizes
+    each partition slice in partition order), so compressed dense deltas
+    are encoded *at buffer time* with their canonical rng streams and
+    windowing only batches their delivery.  Mirrors the
+    :class:`~repro.ps.localagg.LocalAggregator` window accounting so the
+    ``(tree, window, worker)`` token sequence is deterministic.
+    """
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.pending = 0
+        self.windows_flushed = 0
+        self._pieces: list[tuple[int, int, np.ndarray, int]] = []
+
+    @property
+    def full(self) -> bool:
+        return self.pending >= self.window
+
+    def add(self, pieces: list[tuple[int, int, np.ndarray, int]]) -> bool:
+        """Buffer one delta's pieces; returns whether the window filled."""
+        self._pieces.extend(pieces)
+        self.pending += 1
+        return self.full
+
+    def drain(self) -> tuple[int, list[tuple[int, int, np.ndarray, int]]]:
+        if not self._pieces:
+            return self.windows_flushed, []
+        index = self.windows_flushed
+        self.windows_flushed += 1
+        pieces, self._pieces = self._pieces, []
+        self.pending = 0
+        return index, pieces
+
+    def reset(self) -> None:
+        self._pieces = []
+        self.pending = 0
+        self.windows_flushed = 0
+
+
+class _WindowedPushMixin:
+    """Local histogram aggregation for PS backends (``agg_window > 1``).
+
+    Instead of pushing every node delta as it is built, each worker
+    folds deltas into its :class:`~repro.ps.localagg.LocalAggregator`
+    and the cluster communicates once per aggregation window — the
+    Horovod ``LocalGradientAggregationHelper`` pattern applied to
+    histogram slabs.  Dense per-worker flats are wrapped in *fully
+    present* slabs (every feature carries its exact values) so the
+    closed-form header reconstruction never fires for them and the
+    stored bits match the dense push exactly; the 2-D grid path buffers
+    the engine's sparse slabs as-is.
+
+    One windowed push per worker carries that worker's folded entries,
+    encoded once (PR 7 codec) before the partition fan-out, under the
+    sequence token ``(tree, window_index, worker)``.  All aggregators
+    fill in lockstep (every node contributes one delta per worker), so
+    a full window flushes the whole cluster together and is charged as
+    one batched PS scatter — the latency term shrinks by the window
+    size while the volume terms keep the folded payload mass.
+
+    The one path that cannot fold-then-encode is the compressed *dense*
+    push: its codec quantizes per partition slice with a rounding
+    stream consumed in partition order, so folding first would change
+    the stored bits.  There, each delta is encoded at buffer time
+    exactly as :meth:`~repro.ps.group.ParameterServerGroup.push_row`
+    would encode it and the window batches the pre-encoded pieces
+    (:meth:`~repro.ps.group.ParameterServerGroup.push_window_rows`) —
+    the S=0 bit-identity guarantee holds in every cell of the parity
+    matrix.
+    """
+
+    # Provided by the concrete backend / base class.  Backends with a
+    # lossy dense codec (``compression_bits > 0``) additionally provide
+    # ``compression_block``, ``_node_sums``, and ``_unfold_zero_buckets``
+    # — the compressed-dense buffering path mirrors their per-delta
+    # push_row bookkeeping.
+    group: ParameterServerGroup
+    cluster: ClusterConfig
+    config: TrainConfig
+    cost: CostParams
+    n_bins: int
+    n_features: int
+    _tree_index: int
+    _node_sums: dict[int, tuple[float, float]]
+
+    supports_windowed_push: bool = True
+
+    def _init_windowing(self, layout: SlabLayout) -> None:
+        self._layout = layout
+        windowed = self.config.agg_window > 1
+        self._aggregators: list[LocalAggregator] = (
+            [
+                LocalAggregator(self.config.agg_window, layout)
+                for _ in range(self.cluster.n_workers)
+            ]
+            if windowed
+            else []
+        )
+        self._piece_buffers: list[_PieceWindowBuffer] = (
+            [
+                _PieceWindowBuffer(self.config.agg_window)
+                for _ in range(self.cluster.n_workers)
+            ]
+            if windowed
+            else []
+        )
+        self._all_features = np.arange(self.n_features, dtype=np.int64)
+
+    @property
+    def windowed(self) -> bool:
+        """Whether local aggregation is active (``agg_window > 1``)."""
+        return bool(self._aggregators)
+
+    def begin_tree(self, tree_index: int) -> None:
+        super().begin_tree(tree_index)  # type: ignore[misc]
+        # Rewind window counters so a chaos rollback-replay regenerates
+        # the identical (tree, window, worker) token sequence.
+        for aggregator in self._aggregators:
+            aggregator.reset()
+        for buffer in self._piece_buffers:
+            buffer.reset()
+
+    def _buffer_node_flats(
+        self, node: int, local_flats: list[np.ndarray], clock: SimClock
+    ) -> None:
+        if getattr(self, "compression_bits", 0):
+            self._buffer_compressed_flats(node, local_flats, clock)
+            return
+        for aggregator, flat in zip(self._aggregators, local_flats):
+            slab = slab_from_flat(
+                flat,
+                self._all_features,
+                0,
+                self.n_features,
+                self.n_bins,
+                float(flat[: self.n_bins].sum()),
+                float(flat[self.n_bins : 2 * self.n_bins].sum()),
+            )
+            aggregator.add(node, slab)
+        self._maybe_flush_windows(clock)
+
+    def _buffer_compressed_flats(
+        self, node: int, local_flats: list[np.ndarray], clock: SimClock
+    ) -> None:
+        """Buffer compressed dense deltas as pre-encoded pieces.
+
+        Each delta is unfolded and quantized exactly as the per-node
+        ``push_row`` path does — same rng spawn key, same partition
+        slices, same rounding-stream consumption order — so the batched
+        window stores bit-identical floats.  The exact node sums are
+        recorded for the split-time refold, matching the unwindowed
+        bookkeeping.
+        """
+        bits = self.compression_bits
+        block = self.compression_block
+        partitioner = self.group.partitioner("grad_hist")
+        total_g = 0.0
+        total_h = 0.0
+        for worker_id, flat in enumerate(local_flats):
+            rng = spawn_rng(
+                self.config.seed, "lowprec", self._tree_index, node, worker_id
+            )
+            unfolded, sum_g, sum_h = self._unfold_zero_buckets(flat)
+            total_g += sum_g
+            total_h += sum_h
+            pieces: list[tuple[int, int, np.ndarray, int]] = []
+            for part in partitioner.partitions:
+                piece = unfolded[part.lo : part.hi]
+                if block:
+                    blocked = compress_blocked(piece, block, bits, rng)
+                    piece_bytes = blocked.wire_bytes
+                    piece = decompress_blocked(blocked)
+                else:
+                    compressed = compress_flat(piece, bits, rng)
+                    piece_bytes = compressed.wire_bytes
+                    piece = decompress_flat(compressed)
+                pieces.append((node, part.partition_id, piece, piece_bytes))
+            self._piece_buffers[worker_id].add(pieces)
+        self._node_sums[node] = (total_g, total_h)
+        self._maybe_flush_windows(clock)
+
+    def _buffer_node_slabs(
+        self, node: int, slabs: list[tuple[int, SparseSlab]], clock: SimClock
+    ) -> None:
+        for block_id, slab in slabs:
+            self._aggregators[block_id].add(node, slab)
+        self._maybe_flush_windows(clock)
+
+    def _maybe_flush_windows(self, clock: SimClock) -> None:
+        if self._aggregators and (
+            self._aggregators[0].full or self._piece_buffers[0].full
+        ):
+            self._flush_windows(clock)
+
+    def _flush_windows(self, clock: SimClock) -> None:
+        """Push every worker's buffered window and charge one scatter.
+
+        Called when the lockstep windows fill, and with partial buffers
+        from :meth:`find_splits` — a layer boundary drains stragglers so
+        a window never spans layers (split finding needs every delta).
+        """
+        bits = getattr(self, "compression_bits", 0)
+        block_size = getattr(self, "compression_block", None)
+        pushed: list[int] = []
+        for worker_id, buffer in enumerate(self._piece_buffers):
+            if buffer.pending == 0:
+                continue
+            n_deltas = buffer.pending
+            window_index, pieces = buffer.drain()
+            stats = self.group.push_window_rows(
+                "grad_hist",
+                pieces,
+                seq=(self._tree_index, window_index, worker_id),
+                worker=worker_id,
+            )
+            # The 8 bytes per delta ship the exact node sums, matching
+            # the per-delta compressed push accounting.
+            pushed.append(stats.bytes_up + 8 * n_deltas)
+        for worker_id, aggregator in enumerate(self._aggregators):
+            if aggregator.pending == 0:
+                continue
+            window_index, entries = aggregator.drain()
+            wire_entries: list[tuple[int, SparseSlab | CompressedSlab]] = []
+            for node, slab in entries:
+                if bits:
+                    rng = spawn_rng(
+                        self.config.seed,
+                        "lowprec",
+                        self._tree_index,
+                        node,
+                        worker_id,
+                    )
+                    wire_entries.append(
+                        (
+                            node,
+                            compress_slab(
+                                slab, self._layout, bits, rng, block_size
+                            ),
+                        )
+                    )
+                else:
+                    wire_entries.append((node, slab))
+            stats = self.group.push_window(
+                "grad_hist",
+                wire_entries,
+                seq=(self._tree_index, window_index, worker_id),
+                worker=worker_id,
+            )
+            pushed.append(stats.bytes_up)
+        if pushed:
+            clock.advance_comm(
+                general_ps_push_time(
+                    len(pushed),
+                    self.cluster.n_servers,
+                    sum(pushed) / len(pushed),
+                    self.cost,
+                    self.cluster.colocated,
+                ),
+                phase="FIND_SPLIT",
+            )
+
+
+class TencentBoostBackend(_WindowedPushMixin, AggregationBackend):
     """Parameter server without DimBoost's FIND_SPLIT optimizations.
 
     TencentBoost "simply applies the parameter server architecture to
@@ -393,16 +669,19 @@ class TencentBoostBackend(AggregationBackend):
     def __init__(self, cluster, config, candidates, fabric=None) -> None:
         super().__init__(cluster, config, candidates)
         self.group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
+        layout = SlabLayout(self.n_features, self.n_bins, candidates.zero_bins)
         self.group.register(
             "grad_hist",
             self.flat_len,
             align=2 * self.n_bins,
-            layout=SlabLayout(
-                self.n_features, self.n_bins, candidates.zero_bins
-            ),
+            layout=layout,
         )
+        self._init_windowing(layout)
 
     def aggregate_node(self, node, local_flats, clock) -> None:
+        if self.windowed:
+            self._buffer_node_flats(node, local_flats, clock)
+            return
         for worker_id, flat in enumerate(local_flats):
             self.group.push_row(
                 "grad_hist",
@@ -423,9 +702,14 @@ class TencentBoostBackend(AggregationBackend):
         )
 
     def aggregate_node_slabs(self, node, slabs, clock) -> None:
+        if self.windowed:
+            self._buffer_node_slabs(node, slabs, clock)
+            return
         _ps_aggregate_slabs(self, node, slabs, clock)
 
     def find_splits(self, nodes, feature_valid, clock):
+        if self.windowed:
+            self._flush_windows(clock)
         decisions: dict[int, SplitDecision | None] = {}
         p = self.cluster.n_servers
         leader_seconds = 0.0
@@ -446,7 +730,7 @@ class TencentBoostBackend(AggregationBackend):
         return decisions
 
 
-class DimBoostBackend(AggregationBackend):
+class DimBoostBackend(_WindowedPushMixin, AggregationBackend):
     """The full DimBoost FIND_SPLIT pipeline (Sections 6.1-6.3).
 
     Compression detail: Algorithm 2 accumulates the exact gradient sums
@@ -487,14 +771,14 @@ class DimBoostBackend(AggregationBackend):
     ) -> None:
         super().__init__(cluster, config, candidates)
         self.group = ParameterServerGroup(cluster.n_servers, fabric=fabric)
+        layout = SlabLayout(self.n_features, self.n_bins, candidates.zero_bins)
         self.group.register(
             "grad_hist",
             self.flat_len,
             align=2 * self.n_bins,
-            layout=SlabLayout(
-                self.n_features, self.n_bins, candidates.zero_bins
-            ),
+            layout=layout,
         )
+        self._init_windowing(layout)
         self.use_scheduler = use_scheduler
         self.two_phase = two_phase
         self.compression_bits = (
@@ -560,6 +844,14 @@ class DimBoostBackend(AggregationBackend):
         return folded
 
     def aggregate_node(self, node, local_flats, clock) -> None:
+        if self.windowed:
+            # Buffer the *folded* flats: the windowed wire path is slabs,
+            # where compress_slab itself unfolds the zero-bucket mass
+            # before encoding (and refolds it exactly on decode), so the
+            # servers store folded histograms and no _node_sums refold
+            # entry is needed at split time.
+            self._buffer_node_flats(node, local_flats, clock)
+            return
         pushed: list[int] = []
         total_g = 0.0
         total_h = 0.0
@@ -607,6 +899,9 @@ class DimBoostBackend(AggregationBackend):
         # the exact header sums still reconstruct absent features with
         # no quantization at all, and the servers store the *folded*
         # histogram directly, so no _node_sums refold entry is needed.
+        if self.windowed:
+            self._buffer_node_slabs(node, slabs, clock)
+            return
         _ps_aggregate_slabs(self, node, slabs, clock)
 
     def _make_udf(self, feature_valid: np.ndarray | None, node: int):
@@ -635,6 +930,10 @@ class DimBoostBackend(AggregationBackend):
         return udf
 
     def find_splits(self, nodes, feature_valid, clock):
+        if self.windowed:
+            # Drain partial windows: a layer boundary must see every
+            # delta, so windows never span layers.
+            self._flush_windows(clock)
         assignment = self.scheduler.assign(nodes)
         decisions: dict[int, SplitDecision | None] = {}
         per_worker_seconds = [0.0] * self.cluster.n_workers

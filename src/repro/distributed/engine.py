@@ -65,7 +65,7 @@ from ..runtime.hooks import (
     TrainerCallback,
 )
 from ..runtime.loop import BoostingLoop, TreeGrowthStrategy
-from ..runtime.phases import PhaseRunner, scale_by_speeds
+from ..runtime.phases import PhaseRunner, StalenessLanes, scale_by_speeds
 from ..sketch.candidates import (
     CandidateSet,
     propose_candidates,
@@ -193,6 +193,11 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         self.chaos = chaos
         self._root_totals = (0.0, 0.0)
         self._leaf_assignments: list[np.ndarray] = []
+        #: Bounded-staleness score queue: ``(tree_index, per-grid-row
+        #: deltas)`` waiting to be applied.  Round ``t`` applies entries
+        #: through ``t - staleness``, so gradients may lag the newest
+        #: ``staleness`` trees; S=0 applies immediately (synchronous).
+        self._pending_updates: list[tuple[int, list[np.ndarray]]] = []
 
     def _site(self, point: str, worker: int, timer=None) -> None:
         """Fire an execution-site fault point (no-op without chaos)."""
@@ -364,6 +369,10 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                 stage.barrier(timer)
                 if broadcast_seconds:
                     stage.charge_comm(broadcast_seconds)
+            if runner.lanes is not None:
+                # One tree layer finished: bounded staleness syncs the
+                # deferred barrier lanes every S + 1 layers.
+                runner.lanes.layer_boundary(self.clock)
             active = next_active
 
         # Leaf assignment per grid row from its index (free predictions).
@@ -378,8 +387,24 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
         return tree
 
     def update_scores(self, tree_index: int, grown: RegressionTree) -> None:
-        for r in range(len(self.raws)):
-            self.raws[r] += grown.weight[self._leaf_assignments[r]]
+        deltas = [
+            grown.weight[assignment] for assignment in self._leaf_assignments
+        ]
+        self._pending_updates.append((tree_index, deltas))
+        self._apply_pending(tree_index - self.config.staleness)
+
+    def _apply_pending(self, through: int) -> None:
+        """Apply queued score deltas for trees ``<= through``, in order."""
+        while self._pending_updates and self._pending_updates[0][0] <= through:
+            _, deltas = self._pending_updates.pop(0)
+            for r, delta in enumerate(deltas):
+                self.raws[r] += delta
+
+    def finalize(self, grown_units: list) -> list:
+        # The last ``staleness`` trees' deltas are still queued; the
+        # final model must score with every tree applied.
+        self._apply_pending(self.config.n_trees)
+        return grown_units
 
     def finish_round(self, tree_index: int, grown: RegressionTree) -> RoundRecord:
         """Global train loss/error (observability only; not charged)."""
@@ -564,7 +589,7 @@ class DistributedGBDT:
         cluster = self.cluster
         loss = get_loss(config.loss)
         clock = SimClock()
-        master = Master(cluster.n_workers)
+        master = Master(cluster.n_workers, staleness=config.staleness)
 
         chaos: ChaosRuntime | None = None
         fault_accountant: FaultAccountant | None = None
@@ -587,7 +612,17 @@ class DistributedGBDT:
                 *self.callbacks,
             ]
         )
-        runner = PhaseRunner(hooks, master=master, clock=clock, cluster=cluster)
+        # Bounded staleness (S >= 1): stage barriers stop charging
+        # immediately; per-worker seconds accumulate in lanes that sync
+        # every S + 1 tree layers (and once more at fit end).
+        lanes = (
+            StalenessLanes(cluster.n_workers, config.staleness)
+            if config.staleness > 0
+            else None
+        )
+        runner = PhaseRunner(
+            hooks, master=master, clock=clock, cluster=cluster, lanes=lanes
+        )
         hooks.on_fit_start(config.n_trees)
 
         # DATA PARTITIONING + loading: block bytes over the ingest rate,
@@ -634,6 +669,14 @@ class DistributedGBDT:
                     f"sparse slab aggregation; {self.system!r} has none "
                     f"(use a PS backend: tencentboost, dimboost)"
                 )
+        if config.agg_window > 1 and not getattr(
+            backend, "supports_windowed_push", False
+        ):
+            raise ConfigError(
+                f"agg_window {config.agg_window} needs a backend with "
+                f"windowed pushes; {self.system!r} has none "
+                f"(use a PS backend: tencentboost, dimboost)"
+            )
         build_strategy = self._resolve_build_strategy(backend)
 
         # Pre-bucketize every block (part of loading/ETL; measured).  A
@@ -681,12 +724,27 @@ class DistributedGBDT:
         recovery = None
         if chaos is not None:
 
-            def capture() -> list[np.ndarray]:
-                return [raw.copy() for raw in raws]
+            def capture() -> tuple:
+                # Raw scores plus the bounded-staleness pending queue: a
+                # rollback must replay from identical score state AND
+                # identical queued deltas (partial windows re-fold from
+                # scratch, so they need no snapshot of their own).
+                return (
+                    [raw.copy() for raw in raws],
+                    [
+                        (idx, [delta.copy() for delta in deltas])
+                        for idx, deltas in strategy._pending_updates
+                    ],
+                )
 
-            def restore(state: list[np.ndarray]) -> None:
-                for raw, saved in zip(raws, state):
+            def restore(state: tuple) -> None:
+                saved_raws, saved_pending = state
+                for raw, saved in zip(raws, saved_raws):
                     raw[:] = saved
+                strategy._pending_updates = [
+                    (idx, [delta.copy() for delta in deltas])
+                    for idx, deltas in saved_pending
+                ]
 
             recovery = RoundRecovery(
                 capture=capture,
@@ -709,6 +767,11 @@ class DistributedGBDT:
             if self._build_strategy_override is None:
                 build_strategy.close()
 
+        if lanes is not None:
+            # Final staleness sync: whatever lane time the last (< S + 1)
+            # layers accumulated is paid before the fit's books close.
+            lanes.sync(clock)
+
         with runner.stage(WorkerPhase.FINISH):
             # FINISH assembles the deliverable: the model object plus its
             # compiled flat form, so downstream evaluation (cmd_compare,
@@ -729,6 +792,12 @@ class DistributedGBDT:
             recovery_seconds = clock.by_phase().get(FAULT_RECOVERY_PHASE, 0.0)
             if recovery_seconds > 0.0:
                 accountant.phases[FAULT_RECOVERY_PHASE] = recovery_seconds
+        if lanes is not None:
+            # Lane syncs charge the clock between stages, so the
+            # per-stage accountant misses them; like fault recovery, the
+            # clock's per-label totals are authoritative.
+            for label, seconds in clock.by_phase().items():
+                accountant.phases[label] = seconds
         breakdown = TimeBreakdown(
             loading=loading,
             computation=clock.computation,

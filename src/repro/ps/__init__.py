@@ -23,6 +23,7 @@ This package implements the server side:
   the block's gradient sums.
 """
 
+from .localagg import LocalAggregator, fold_slabs
 from .partitioner import Partition, VectorPartitioner
 from .server import PSServer, PullUDF
 from .group import ParameterServerGroup, TransferStats
@@ -36,6 +37,8 @@ from .slab import (
 )
 
 __all__ = [
+    "LocalAggregator",
+    "fold_slabs",
     "Partition",
     "VectorPartitioner",
     "PSServer",

@@ -294,6 +294,143 @@ class ParameterServerGroup:
             stats.messages += 1
         return stats
 
+    def push_window(
+        self,
+        name: str,
+        entries: list[tuple[int, SparseSlab | CompressedSlab]],
+        seq: object | None = None,
+        worker: int | None = None,
+    ) -> TransferStats:
+        """Push one locally-aggregated window of ``(row, slab)`` deltas.
+
+        The caller has already folded the window's node deltas
+        (:class:`repro.ps.localagg.LocalAggregator`) and encoded each
+        folded slab *once* — entries may be :class:`CompressedSlab`
+        (PR 7 codec) or plain :class:`SparseSlab`; this method only
+        routes.  Every server partition receives at most one message
+        carrying its shares of all entries, so a window of ``W`` node
+        deltas costs one latency term per partition instead of ``W``.
+        Each entry's share is billed as 4 bytes of row id plus its slab
+        wire share; entries whose stripe misses a partition are skipped
+        (their own stripes' windows cover those).
+
+        ``seq``/``worker`` follow the :meth:`push_row` contract (seq
+        required under a fault fabric), with one extension the windowed
+        seam demands: the token must identify the *window*, not just the
+        round — ``(round, window, worker)`` — so a retry inside a window
+        deduplicates while the next window's touch of the same rows
+        applies.
+        """
+        partitioner = self.partitioner(name)
+        layout = self._layouts.get(name)
+        if layout is None:
+            raise PSError(
+                f"parameter {name!r} was registered without a slab layout"
+            )
+        if self.fabric is not None and seq is None:
+            raise PSError(
+                "push_window without a seq token while a fault fabric is "
+                "attached: retried pushes would double-count"
+            )
+        width = layout.feature_width
+        stats = TransferStats()
+        for part in partitioner.partitions:
+            f_lo, f_hi = part.lo // width, part.hi // width
+            share = [
+                (row, slab)
+                for row, slab in entries
+                if slab.wire_bytes_for(f_lo, f_hi) > 0
+            ]
+            if not share:
+                continue
+            piece_bytes = sum(
+                4 + slab.wire_bytes_for(f_lo, f_hi) for _, slab in share
+            )
+            stats.bytes_up += piece_bytes
+            server = self.servers[part.server_id]
+
+            def send(server=server, part=part, share=share):
+                return server.handle_push_window(
+                    name, part.partition_id, share, seq=seq
+                )
+
+            self._deliver(
+                "push",
+                send,
+                server=part.server_id,
+                worker=worker,
+                payload_bytes=piece_bytes,
+            )
+            stats.messages += 1
+        return stats
+
+    def push_window_rows(
+        self,
+        name: str,
+        entries: list[tuple[int, int, np.ndarray, int]],
+        seq: object | None = None,
+        worker: int | None = None,
+    ) -> TransferStats:
+        """Push one window of pre-encoded dense row pieces.
+
+        The lossy row codec is *partition-scoped* — :meth:`push_row`
+        quantizes each partition slice with a rounding stream consumed
+        in partition order — so a windowed push of compressed dense
+        deltas cannot fold before encoding without changing the stored
+        bits.  Instead the caller encodes every delta exactly as
+        :meth:`push_row` would (same rng, same slices) and hands the
+        decoded pieces here: ``entries`` is a list of ``(row,
+        partition_id, values, wire_bytes)`` tuples.  This method only
+        batches delivery — one message per server carries all of its
+        pieces, applied in entry order, so the stored floats and their
+        addend order match the per-delta pushes bit for bit while the
+        window pays one latency term per server.
+
+        ``seq``/``worker`` follow the :meth:`push_window` contract: the
+        token must identify the window — ``(round, window, worker)`` —
+        so a retried delivery deduplicates per ``(row, partition)``
+        while later windows still apply.
+        """
+        partitioner = self.partitioner(name)
+        if self.fabric is not None and seq is None:
+            raise PSError(
+                "push_window_rows without a seq token while a fault fabric "
+                "is attached: retried pushes would double-count"
+            )
+        parts = {part.partition_id: part for part in partitioner.partitions}
+        by_server: dict[int, list[tuple[int, int, np.ndarray, int]]] = {}
+        for row, partition_id, piece, piece_bytes in entries:
+            part = parts.get(partition_id)
+            if part is None:
+                raise PSError(
+                    f"push_window_rows to {name!r}: unknown partition "
+                    f"{partition_id}"
+                )
+            by_server.setdefault(part.server_id, []).append(
+                (row, partition_id, piece, piece_bytes)
+            )
+        stats = TransferStats()
+        for server_id in sorted(by_server):
+            share = by_server[server_id]
+            payload_bytes = sum(4 + piece_bytes for *_rest, piece_bytes in share)
+            server = self.servers[server_id]
+
+            def send(server=server, share=share):
+                for row, partition_id, piece, _piece_bytes in share:
+                    server.handle_push(name, row, partition_id, piece, seq=seq)
+                return None
+
+            self._deliver(
+                "push",
+                send,
+                server=server_id,
+                worker=worker,
+                payload_bytes=payload_bytes,
+            )
+            stats.bytes_up += payload_bytes
+            stats.messages += 1
+        return stats
+
     def push_sketch(
         self,
         name: str,

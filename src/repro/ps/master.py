@@ -73,18 +73,31 @@ class Master:
 
     One worker (id 0 by convention, matching the paper's "leader worker")
     is designated leader.
+
+    With ``staleness == 0`` (the default) the master enforces DimBoost's
+    strict layer lockstep: a worker entering a phase while any live peer
+    is neither in the same phase nor one barrier behind is a violation.
+    With ``staleness == S >= 1`` the barrier relaxes to bounded
+    staleness (SSP-style): the master tracks a per-worker *layer clock*
+    (incremented each time the worker enters BUILD_HISTOGRAM) and only
+    rejects a worker that would run more than ``S`` layers ahead of the
+    slowest live peer.
     """
 
-    def __init__(self, n_workers: int) -> None:
+    def __init__(self, n_workers: int, staleness: int = 0) -> None:
         if n_workers < 1:
             raise TrainingError(f"n_workers must be >= 1, got {n_workers}")
+        if staleness < 0:
+            raise TrainingError(f"staleness must be >= 0, got {staleness}")
         self.n_workers = n_workers
+        self.staleness = staleness
         self._phase: list[WorkerPhase | None] = [None] * n_workers
         self._barriers_passed = 0
         self._health_beats: list[int] = [0] * n_workers
         self._departed: set[int] = set()
         self._crashes: list[int] = [0] * n_workers
         self._recoveries: list[int] = [0] * n_workers
+        self._layer_clock: list[int] = [0] * n_workers
 
     @property
     def leader_id(self) -> int:
@@ -132,21 +145,40 @@ class Master:
                 f"worker {worker_id}: illegal transition "
                 f"{current.value} -> {phase.value}"
             )
-        # Barrier check: every live peer must be either still in this
-        # worker's current phase (not yet at the barrier) or already in
-        # the target phase (passed it) — anything else means lockstep was
-        # broken.  Departed workers are excluded: the barrier shrinks to
-        # the surviving membership, as a real master's would.
-        for other_id, other in enumerate(self._phase):
-            if other_id == worker_id or other_id in self._departed:
-                continue
-            if other is not current and other is not phase:
+        if self.staleness == 0:
+            # Barrier check: every live peer must be either still in this
+            # worker's current phase (not yet at the barrier) or already in
+            # the target phase (passed it) — anything else means lockstep
+            # was broken.  Departed workers are excluded: the barrier
+            # shrinks to the surviving membership, as a real master's would.
+            for other_id, other in enumerate(self._phase):
+                if other_id == worker_id or other_id in self._departed:
+                    continue
+                if other is not current and other is not phase:
+                    raise TrainingError(
+                        f"barrier violation: worker {worker_id} entering "
+                        f"{phase.value} while worker {other_id} is in "
+                        f"{other.value if other else 'None'}"
+                    )
+        elif phase is WorkerPhase.BUILD_HISTOGRAM:
+            # Bounded staleness: layer lockstep is relaxed, but a worker
+            # may not start a layer more than ``staleness`` layers ahead
+            # of the slowest live peer's clock.
+            tentative = self._layer_clock[worker_id] + 1
+            peers = [
+                self._layer_clock[other_id]
+                for other_id in range(self.n_workers)
+                if other_id != worker_id and other_id not in self._departed
+            ]
+            if peers and tentative - min(peers) > self.staleness:
                 raise TrainingError(
-                    f"barrier violation: worker {worker_id} entering "
-                    f"{phase.value} while worker {other_id} is in "
-                    f"{other.value if other else 'None'}"
+                    f"staleness bound exceeded: worker {worker_id} entering "
+                    f"layer {tentative} while the slowest live peer is at "
+                    f"layer {min(peers)} (bound S={self.staleness})"
                 )
         self._phase[worker_id] = phase
+        if phase is WorkerPhase.BUILD_HISTOGRAM:
+            self._layer_clock[worker_id] += 1
         self._health_beats[worker_id] += 1
         if all(
             p is phase
@@ -166,6 +198,27 @@ class Master:
         for worker_id in range(self.n_workers):
             if worker_id not in self._departed:
                 self.enter_phase(worker_id, phase)
+
+    # ------------------------------------------------------------------
+    # bounded-staleness clocks
+    # ------------------------------------------------------------------
+
+    def worker_clock(self, worker_id: int) -> int:
+        """Layers of BUILD_HISTOGRAM this worker has started (its clock)."""
+        self._check_worker(worker_id)
+        return self._layer_clock[worker_id]
+
+    def clock_drift(self) -> int:
+        """Largest clock gap between any two live workers (0 when <= 1
+        worker is live).  Bounded by ``staleness`` between barriers."""
+        live = [
+            self._layer_clock[wid]
+            for wid in range(self.n_workers)
+            if wid not in self._departed
+        ]
+        if len(live) < 2:
+            return 0
+        return max(live) - min(live)
 
     # ------------------------------------------------------------------
     # failure handling (chaos/recovery support)
@@ -229,6 +282,11 @@ class Master:
                 self._phase[worker_id] = WorkerPhase.NEW_TREE
         for worker_id in sorted(self._departed):
             self.rejoin(worker_id, WorkerPhase.NEW_TREE)
+        # All workers replay the round together from the checkpoint, so
+        # their layer clocks resynchronize at the fastest clock — a
+        # rejoined laggard must not let its peers' future layer entries
+        # read as unbounded drift.
+        self._layer_clock = [max(self._layer_clock)] * self.n_workers
 
     def health_report(self) -> dict[int, WorkerHealth]:
         """Per-worker health: heartbeats, liveness, crash/recovery counts."""

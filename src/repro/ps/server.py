@@ -171,6 +171,28 @@ class PSServer:
         :meth:`handle_push` (token per logical message; duplicates are
         counted, billed, and ignored; freed with the row).
         """
+        part, layout, f_lo, f_hi = self._slab_range(name, partition_id)
+        self.bytes_received += slab.wire_bytes_for(f_lo, f_hi)
+        if seq is not None:
+            applied = self._applied[name].setdefault(row, {}).setdefault(
+                partition_id, set()
+            )
+            if seq in applied:
+                self.duplicate_pushes += 1
+                return
+            applied.add(seq)
+        contrib = self._materialize_slab(layout, slab, f_lo, f_hi, part.length)
+        rows = self._rows[name].setdefault(row, {})
+        stored = rows.get(partition_id)
+        if stored is None:
+            rows[partition_id] = contrib
+        else:
+            stored += contrib
+
+    def _slab_range(
+        self, name: str, partition_id: int
+    ) -> tuple[Partition, SlabLayout, int, int]:
+        """Resolve a slab-capable partition to its feature range."""
         part = self._partition(name, partition_id)
         layout = self._layouts.get(name)
         if layout is None:
@@ -184,23 +206,22 @@ class PSServer:
                 f"partition {partition_id} of {name!r} is not feature-aligned "
                 f"(align {width}); cannot apply slabs"
             )
-        f_lo, f_hi = part.lo // width, part.hi // width
-        self.bytes_received += slab.wire_bytes_for(f_lo, f_hi)
-        if seq is not None:
-            applied = self._applied[name].setdefault(row, {}).setdefault(
-                partition_id, set()
-            )
-            if seq in applied:
-                self.duplicate_pushes += 1
-                return
-            applied.add(seq)
+        return part, layout, part.lo // width, part.hi // width
+
+    def _materialize_slab(
+        self,
+        layout: SlabLayout,
+        slab: SparseSlab | CompressedSlab,
+        f_lo: int,
+        f_hi: int,
+        length: int,
+    ) -> np.ndarray:
+        """Materialize a slab's contribution over features [f_lo, f_hi)."""
         if isinstance(slab, CompressedSlab):
             slab = slab.to_sparse(layout)
-
-        # Materialize the slab's contribution over the hosted range.
         lo = max(f_lo, slab.col_lo)
         hi = min(f_hi, slab.col_hi)
-        contrib = np.zeros(part.length, dtype=np.float64)
+        contrib = np.zeros(length, dtype=np.float64)
         if lo < hi:
             view = contrib.reshape(f_hi - f_lo, 2, layout.n_bins)
             local = np.arange(lo - f_lo, hi - f_lo, dtype=np.int64)
@@ -214,12 +235,54 @@ class PSServer:
                 view[carried] = slab.values[first:last].reshape(
                     last - first, 2, layout.n_bins
                 )
-        rows = self._rows[name].setdefault(row, {})
-        stored = rows.get(partition_id)
-        if stored is None:
-            rows[partition_id] = contrib
-        else:
-            stored += contrib
+        return contrib
+
+    def handle_push_window(
+        self,
+        name: str,
+        partition_id: int,
+        entries: list[tuple[int, SparseSlab | CompressedSlab]],
+        seq: object | None = None,
+    ) -> None:
+        """Apply one locally-aggregated window of slab pushes.
+
+        ``entries`` is an ordered batch of ``(row, slab)`` deltas a
+        worker folded across an aggregation window — the whole batch
+        travelled as one message, so one call bills one windowed
+        payload: 4 bytes of row id plus the slab's wire share per
+        entry.  Each entry merges exactly like an individual
+        :meth:`handle_push_slab` would, so windowing never changes
+        stored bits.
+
+        ``seq`` must extend the per-round token with the window index —
+        ``(round, window, worker)`` — because consecutive windows of one
+        worker legitimately touch the same rows: a per-round token would
+        wrongly swallow the second window, while a retried delivery of
+        the *same* window must still deduplicate.  Tokens are recorded
+        per entry row, so :meth:`clear_row` frees them with the row and
+        a post-rollback replay into a cleared row is never misread as a
+        duplicate.
+        """
+        part, layout, f_lo, f_hi = self._slab_range(name, partition_id)
+        for row, slab in entries:
+            self.bytes_received += 4 + slab.wire_bytes_for(f_lo, f_hi)
+            if seq is not None:
+                applied = self._applied[name].setdefault(row, {}).setdefault(
+                    partition_id, set()
+                )
+                if seq in applied:
+                    self.duplicate_pushes += 1
+                    continue
+                applied.add(seq)
+            contrib = self._materialize_slab(
+                layout, slab, f_lo, f_hi, part.length
+            )
+            rows = self._rows[name].setdefault(row, {})
+            stored = rows.get(partition_id)
+            if stored is None:
+                rows[partition_id] = contrib
+            else:
+                stored += contrib
 
     def handle_push_sketch(
         self,

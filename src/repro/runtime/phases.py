@@ -36,7 +36,13 @@ from ..config import ClusterConfig
 from ..ps.master import Master, WorkerPhase
 from .hooks import CallbackList
 
-__all__ = ["PhaseRunner", "PhaseStage", "WorkerTimer", "scale_by_speeds"]
+__all__ = [
+    "PhaseRunner",
+    "PhaseStage",
+    "StalenessLanes",
+    "WorkerTimer",
+    "scale_by_speeds",
+]
 
 
 def scale_by_speeds(
@@ -73,6 +79,74 @@ class WorkerTimer:
     def add(self, worker_id: int, seconds: float) -> None:
         """Charge pre-measured (or simulated-span) seconds to a worker."""
         self.seconds[worker_id] += seconds
+
+
+class StalenessLanes:
+    """Deferred per-worker barrier accounting for bounded staleness.
+
+    With ``TrainConfig.staleness == S >= 1``, workers may run up to
+    ``S`` layers ahead of the slowest peer, so a layer's compute does
+    not cost the cluster ``max(worker seconds)`` immediately — each
+    worker keeps its own *lane* of accumulated (speed-scaled) seconds,
+    and only when the staleness bound forces a synchronization does the
+    cluster wait for the slowest lane.  :meth:`PhaseStage.barrier`
+    routes per-worker seconds into the lanes instead of charging the
+    clock; :meth:`layer_boundary` counts layers and triggers a
+    :meth:`sync` every ``S + 1`` layers; the engine issues a final
+    :meth:`sync` at fit end so no lane time is ever dropped.
+
+    The charged time is the slowest lane's per-phase breakdown, which is
+    exactly the lower envelope bounded staleness can realize: every
+    other worker's lane time overlaps the slowest worker's.
+    """
+
+    def __init__(self, n_workers: int, staleness: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if staleness < 1:
+            raise ValueError(
+                f"StalenessLanes needs staleness >= 1, got {staleness}; "
+                f"S=0 is the synchronous barrier and uses no lanes"
+            )
+        self.n_workers = n_workers
+        self.staleness = staleness
+        self.syncs = 0
+        self._lanes = [0.0] * n_workers
+        self._by_phase: list[dict[str, float]] = [{} for _ in range(n_workers)]
+        self._layers_since_sync = 0
+
+    @property
+    def lane_seconds(self) -> list[float]:
+        """Accumulated unsynced seconds per worker lane."""
+        return list(self._lanes)
+
+    def defer(self, per_worker_seconds: Sequence[float], phase: str) -> None:
+        """Accumulate one relaxed barrier's speed-scaled worker seconds."""
+        for wid, seconds in enumerate(per_worker_seconds):
+            self._lanes[wid] += seconds
+            bucket = self._by_phase[wid]
+            bucket[phase] = bucket.get(phase, 0.0) + seconds
+
+    def layer_boundary(self, clock: SimClock) -> float:
+        """Note one finished tree layer; sync once drift would exceed S."""
+        self._layers_since_sync += 1
+        if self._layers_since_sync > self.staleness:
+            return self.sync(clock)
+        return 0.0
+
+    def sync(self, clock: SimClock) -> float:
+        """Charge the slowest lane's breakdown and empty all lanes."""
+        self._layers_since_sync = 0
+        if not any(self._lanes):
+            return 0.0
+        slowest = max(range(self.n_workers), key=self._lanes.__getitem__)
+        charged = self._lanes[slowest]
+        for phase, seconds in self._by_phase[slowest].items():
+            clock.advance_compute(seconds, phase=phase)
+        self._lanes = [0.0] * self.n_workers
+        self._by_phase = [{} for _ in range(self.n_workers)]
+        self.syncs += 1
+        return charged
 
 
 class PhaseStage:
@@ -142,14 +216,19 @@ class PhaseStage:
         Per-worker seconds are speed-scaled first, then the maximum is
         charged to the simulated clock under this stage's phase label.
         Returns the seconds charged (0.0 without a clock).
+
+        Under bounded staleness (``runner.lanes`` set) nothing is
+        charged here: the scaled seconds accumulate in the per-worker
+        lanes and the clock pays only at the next staleness sync.
         """
         clock = self.runner.clock
         if clock is None:
             return 0.0
-        return clock.barrier(
-            scale_by_speeds(timer.seconds, self.runner.cluster),
-            phase=self.phase.value,
-        )
+        scaled = scale_by_speeds(timer.seconds, self.runner.cluster)
+        if self.runner.lanes is not None:
+            self.runner.lanes.defer(scaled, self.phase.value)
+            return 0.0
+        return clock.barrier(scaled, phase=self.phase.value)
 
     def charge_comm(self, seconds: float) -> None:
         """Charge communication time under this stage's phase label."""
@@ -167,6 +246,8 @@ class PhaseRunner:
         clock: Simulated cluster clock; ``None`` for single-machine runs
             (stages then report only wall-clock).
         cluster: Cluster shape, used for worker count and speed scaling.
+        lanes: Bounded-staleness lanes; ``None`` (default) keeps every
+            stage barrier synchronous.
     """
 
     def __init__(
@@ -175,11 +256,13 @@ class PhaseRunner:
         master: Master | None = None,
         clock: SimClock | None = None,
         cluster: ClusterConfig | None = None,
+        lanes: StalenessLanes | None = None,
     ) -> None:
         self.callbacks = callbacks
         self.master = master
         self.clock = clock
         self.cluster = cluster
+        self.lanes = lanes
 
     @property
     def n_workers(self) -> int:

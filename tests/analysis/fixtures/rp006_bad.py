@@ -38,6 +38,17 @@ class SketchServer:
             self._sketches[(name, feature)] = payload
 
 
+class WindowServer:
+    """handle_push_window without seq: a replayed window merges twice."""
+
+    def __init__(self) -> None:
+        self._rows: dict = {}
+
+    def handle_push_window(self, name, entries) -> None:  # expect: RP006
+        for row, slab in entries:
+            self._rows[(name, row)] = slab
+
+
 class Group:
     def __init__(self, server: Server) -> None:
         self.server = server
@@ -48,3 +59,10 @@ class Group:
     def push_sketch(self, name: str, sketches: dict) -> None:  # expect: RP006
         payloads = sorted(sketches.items())
         self.server.handle_push_sketch(name, 0, payloads)  # expect: RP006
+
+    def push_window(self, name: str, entries: list) -> None:  # expect: RP006
+        self.server.handle_push_window(name, entries)  # expect: RP006
+
+    def push_window_rows(self, name: str, entries: list) -> None:  # expect: RP006
+        for row, _partition, piece, _nbytes in entries:
+            self.server.handle_push(name, row, piece)  # expect: RP006

@@ -36,6 +36,20 @@ class SketchServer:
             self._sketches[(name, feature)] = payload
 
 
+class WindowServer:
+    def __init__(self) -> None:
+        self._rows: dict = {}
+        self._applied: dict = {}
+
+    def handle_push_window(self, name, entries, seq=None):
+        if seq is not None:
+            if seq in self._applied.setdefault(name, set()):
+                return
+            self._applied[name].add(seq)
+        for row, slab in entries:
+            self._rows[(name, row)] = slab
+
+
 class Group:
     def __init__(self, server: Server) -> None:
         self.server = server
@@ -50,3 +64,14 @@ class Group:
     ) -> None:
         payloads = sorted(sketches.items())
         self.server.handle_push_sketch(name, 0, payloads, seq=seq)
+
+    def push_window(
+        self, name: str, entries: list, seq: object | None = None
+    ) -> None:
+        self.server.handle_push_window(name, entries, seq=seq)
+
+    def push_window_rows(
+        self, name: str, entries: list, seq: object | None = None
+    ) -> None:
+        for row, _partition, piece, _nbytes in entries:
+            self.server.handle_push(name, row, piece, seq=seq)

@@ -1,4 +1,8 @@
-"""Bit-identity and guard tests for 2-D block-sharded training."""
+"""Bit-identity and guard tests for 2-D block-sharded training.
+
+The grid-layout parity sweeps (grid=(R,1) vs row sharding, windowed vs
+unwindowed, compressed vs raw) live in ``test_parity_matrix.py``.
+"""
 
 from __future__ import annotations
 
@@ -48,19 +52,6 @@ class TestBitIdentity:
             row.model.predict(data.X), blk.model.predict(data.X)
         )
 
-    def test_single_column_grid_equals_default(self, data, config):
-        """grid=(R, 1) is exactly the row-sharded layout."""
-        base = train_distributed(
-            "dimboost", data, ClusterConfig(n_workers=3, n_servers=2), config
-        )
-        grid = train_distributed(
-            "dimboost",
-            data,
-            ClusterConfig(n_workers=3, n_servers=2, grid=(3, 1)),
-            config,
-        )
-        assert trees_of(base) == trees_of(grid)
-
     def test_distributed_sketch_path(self, data, config):
         """Per-stripe GK sketches merged down grid rows propose the same
         candidates as per-shard full-width sketches."""
@@ -72,19 +63,6 @@ class TestBitIdentity:
         blk = DistributedGBDT(
             "dimboost", cluster_blk, config, distributed_sketch=True
         ).fit(data)
-        assert trees_of(row) == trees_of(blk)
-
-    def test_wide_grid_single_row_band(self, data, config):
-        """R=1: every worker holds all rows, one feature stripe each."""
-        row = train_distributed(
-            "dimboost", data, ClusterConfig(n_workers=1, n_servers=2), config
-        )
-        blk = train_distributed(
-            "dimboost",
-            data,
-            ClusterConfig(n_workers=4, n_servers=2, grid=(1, 4)),
-            config,
-        )
         assert trees_of(row) == trees_of(blk)
 
 

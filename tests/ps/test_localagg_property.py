@@ -1,0 +1,329 @@
+"""Property tests for local aggregation and the wire formats it folds.
+
+Hypothesis drives :func:`repro.ps.localagg.fold_slabs` and
+:class:`repro.ps.localagg.LocalAggregator` across arbitrary stripe
+grids, feature-presence patterns, window sizes, and codec bit-widths,
+asserting the PR's headline contract end to end: folding worker-side
+then pushing one window is **bit-identical** on the servers to pushing
+every delta individually — fold(deltas) → slab → (compressed) → decode
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lowprec import SUPPORTED_BITS
+from repro.ps import (
+    LocalAggregator,
+    ParameterServerGroup,
+    SlabLayout,
+    SparseSlab,
+    compress_slab,
+    fold_slabs,
+)
+from repro.utils.rng import spawn_rng
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def layouts(draw):
+    """A small histogram layout: M features, K bins, random zero bins."""
+    n_features = draw(st.integers(min_value=1, max_value=6))
+    n_bins = draw(st.integers(min_value=2, max_value=8))
+    zero_bins = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_bins - 1),
+                min_size=n_features,
+                max_size=n_features,
+            )
+        ),
+        dtype=np.int64,
+    )
+    return SlabLayout(n_features, n_bins, zero_bins)
+
+
+@st.composite
+def stripes(draw, layout):
+    """A feature stripe ``[col_lo, col_hi)`` of the layout's grid."""
+    col_lo = draw(st.integers(min_value=0, max_value=layout.n_features - 1))
+    col_hi = draw(
+        st.integers(min_value=col_lo + 1, max_value=layout.n_features)
+    )
+    return col_lo, col_hi
+
+
+@st.composite
+def slabs(draw, layout, col_lo, col_hi):
+    """An arbitrary slab over the stripe: any presence subset, any mass."""
+    width = layout.feature_width
+    stripe = list(range(col_lo, col_hi))
+    present = sorted(
+        draw(st.sets(st.sampled_from(stripe), min_size=0, max_size=len(stripe)))
+    )
+    values = np.asarray(
+        draw(
+            st.lists(
+                finite_values,
+                min_size=len(present) * width,
+                max_size=len(present) * width,
+            )
+        ),
+        dtype=np.float64,
+    ).reshape(len(present), width)
+    return SparseSlab(
+        col_lo=col_lo,
+        col_hi=col_hi,
+        features=np.asarray(present, dtype=np.int64),
+        values=values,
+        sum_g=draw(finite_values),
+        sum_h=draw(finite_values),
+    )
+
+
+def make_group(layout, n_servers=2):
+    group = ParameterServerGroup(n_servers)
+    group.register(
+        "grad_hist",
+        layout.row_length,
+        align=layout.feature_width,
+        layout=layout,
+    )
+    return group
+
+
+def stored_row(group, row):
+    flat, _stats = group.pull_row("grad_hist", row)
+    return flat
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_fold_matches_sequential_pushes_bitwise(data):
+    """The fold contract: pushing fold(a, b) stores the same bits as
+    pushing a then b — for every stripe, presence pattern, and partition
+    split, including the closed-form reconstruction of absent features."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    a = data.draw(slabs(layout, col_lo, col_hi))
+    b = data.draw(slabs(layout, col_lo, col_hi))
+
+    sequential = make_group(layout)
+    sequential.push_slab("grad_hist", 0, a, seq=(0, 0))
+    sequential.push_slab("grad_hist", 0, b, seq=(0, 1))
+
+    folded_group = make_group(layout)
+    folded_group.push_slab("grad_hist", 0, fold_slabs(a, b, layout), seq=(0, 0))
+
+    np.testing.assert_array_equal(
+        stored_row(sequential, 0), stored_row(folded_group, 0)
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_fold_chain_matches_sequential_pushes(data):
+    """One window of k same-node deltas, folded left-to-right and pushed
+    once, stores the same bits as the k deltas pushed in sequence —
+    chained folding matches the server's left-fold association exactly."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    n_deltas = data.draw(st.integers(min_value=1, max_value=5))
+    deltas = [
+        data.draw(slabs(layout, col_lo, col_hi)) for _ in range(n_deltas)
+    ]
+
+    sequential = make_group(layout)
+    for token, slab in enumerate(deltas):
+        sequential.push_slab("grad_hist", 0, slab, seq=(0, token))
+
+    aggregator = LocalAggregator(n_deltas, layout)
+    for slab in deltas:
+        aggregator.add(0, slab)
+    index, entries = aggregator.drain()
+    folded_group = make_group(layout)
+    folded_group.push_window("grad_hist", entries, seq=(0, index, 0))
+
+    np.testing.assert_array_equal(
+        stored_row(sequential, 0), stored_row(folded_group, 0)
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_windowed_pushes_match_per_delta_pushes(data):
+    """A whole delta stream through the aggregator + push_window equals
+    the same stream pushed delta by delta, for every window size.
+
+    Nodes are distinct per delta, as in the engine: a tree node's
+    histogram row receives exactly one delta per worker, so no row ever
+    accumulates across two windows (cross-window accumulation would
+    re-associate the float additions)."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    n_deltas = data.draw(st.integers(min_value=1, max_value=8))
+    deltas = [
+        (node, data.draw(slabs(layout, col_lo, col_hi)))
+        for node in range(n_deltas)
+    ]
+    window = data.draw(st.integers(min_value=1, max_value=n_deltas + 2))
+
+    direct = make_group(layout)
+    for token, (node, slab) in enumerate(deltas):
+        direct.push_slab("grad_hist", node, slab, seq=(0, token))
+
+    windowed = make_group(layout)
+    aggregator = LocalAggregator(window, layout)
+    for node, slab in deltas:
+        if aggregator.add(node, slab):
+            index, entries = aggregator.drain()
+            windowed.push_window("grad_hist", entries, seq=(0, index, 0))
+    index, entries = aggregator.drain()
+    if entries:
+        windowed.push_window("grad_hist", entries, seq=(0, index, 0))
+
+    for node in {node for node, _slab in deltas}:
+        np.testing.assert_array_equal(
+            stored_row(direct, node), stored_row(windowed, node)
+        )
+
+
+@given(data=st.data(), bits=st.sampled_from(SUPPORTED_BITS))
+@settings(max_examples=60, deadline=None)
+def test_compressed_window_decode_is_deterministic(data, bits):
+    """fold → compress → decode is a pure function of the wire payload:
+    two servers receiving the same compressed window store identical
+    bits, whatever the bit-width."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    a = data.draw(slabs(layout, col_lo, col_hi))
+    b = data.draw(slabs(layout, col_lo, col_hi))
+    folded = fold_slabs(a, b, layout)
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    wire = compress_slab(
+        folded, layout, bits, spawn_rng(seed, "lowprec", 0, 0, 0)
+    )
+
+    first = make_group(layout)
+    first.push_window("grad_hist", [(0, wire)], seq=(0, 0, 0))
+    second = make_group(layout)
+    second.push_window("grad_hist", [(0, wire)], seq=(0, 0, 0))
+    np.testing.assert_array_equal(stored_row(first, 0), stored_row(second, 0))
+
+
+@given(data=st.data(), bits=st.sampled_from(SUPPORTED_BITS))
+@settings(max_examples=60, deadline=None)
+def test_closed_form_mass_survives_compression_exactly(data, bits):
+    """A folded slab whose residual is zero (all mass in the zero-bucket
+    closed form) compresses to an exactly-restoring payload: the codec
+    moves only residuals, the header sums stay full-precision floats."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    width = layout.feature_width
+    sum_g = data.draw(finite_values)
+    sum_h = data.draw(finite_values)
+    present = np.arange(col_lo, col_hi, dtype=np.int64)
+    values = np.zeros((present.size, width), dtype=np.float64)
+    rows = np.arange(present.size)
+    values[rows, layout.zero_bins[present]] = sum_g
+    values[rows, layout.n_bins + layout.zero_bins[present]] = sum_h
+    slab = SparseSlab(
+        col_lo=col_lo,
+        col_hi=col_hi,
+        features=present,
+        values=values,
+        sum_g=sum_g,
+        sum_h=sum_h,
+    )
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    wire = compress_slab(slab, layout, bits, np.random.default_rng(seed))
+
+    exact = make_group(layout)
+    exact.push_slab("grad_hist", 0, slab, seq=(0, 0))
+    decoded = make_group(layout)
+    decoded.push_window("grad_hist", [(0, wire)], seq=(0, 0, 0))
+    np.testing.assert_array_equal(stored_row(exact, 0), stored_row(decoded, 0))
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_window_size_never_changes_stored_bits(data):
+    """Any two window sizes store identical bits for the same stream —
+    the knob is pure communication scheduling.  Nodes are distinct per
+    delta (the engine's shape; see above)."""
+    layout = data.draw(layouts())
+    col_lo, col_hi = data.draw(stripes(layout))
+    n_deltas = data.draw(st.integers(min_value=1, max_value=6))
+    deltas = [
+        (node, data.draw(slabs(layout, col_lo, col_hi)))
+        for node in range(n_deltas)
+    ]
+    w1 = data.draw(st.integers(min_value=1, max_value=n_deltas))
+    w2 = data.draw(st.integers(min_value=1, max_value=n_deltas))
+
+    def run(window):
+        group = make_group(layout)
+        aggregator = LocalAggregator(window, layout)
+        for node, slab in deltas:
+            if aggregator.add(node, slab):
+                index, entries = aggregator.drain()
+                group.push_window("grad_hist", entries, seq=(0, index, 0))
+        index, entries = aggregator.drain()
+        if entries:
+            group.push_window("grad_hist", entries, seq=(0, index, 0))
+        return {
+            node: stored_row(group, node)
+            for node in {node for node, _slab in deltas}
+        }
+
+    first, second = run(w1), run(w2)
+    assert first.keys() == second.keys()
+    for node, flat in first.items():
+        np.testing.assert_array_equal(flat, second[node])
+
+
+@given(
+    window=st.integers(min_value=1, max_value=5),
+    n_deltas=st.integers(min_value=0, max_value=12),
+)
+def test_aggregator_window_accounting(window, n_deltas):
+    """``add`` reports fullness exactly at multiples of the window and
+    ``drain`` numbers windows densely from zero."""
+    layout = SlabLayout(2, 3, np.zeros(2, dtype=np.int64))
+    aggregator = LocalAggregator(window, layout)
+    empty = SparseSlab(
+        col_lo=0,
+        col_hi=2,
+        features=np.empty(0, dtype=np.int64),
+        values=np.empty((0, 6), dtype=np.float64),
+        sum_g=0.0,
+        sum_h=0.0,
+    )
+    drained = []
+    for i in range(n_deltas):
+        full = aggregator.add(i % 3, empty)
+        assert full == (aggregator.pending >= window)
+        if full:
+            index, entries = aggregator.drain()
+            drained.append(index)
+            assert entries
+            assert aggregator.pending == 0
+    assert drained == list(range(len(drained)))
+    index, entries = aggregator.drain()
+    if entries:
+        assert index == len(drained)
+    else:
+        # An empty drain consumes no window index.
+        assert index == len(drained)
+        assert aggregator.windows_flushed == len(drained)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

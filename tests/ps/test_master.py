@@ -213,3 +213,82 @@ class TestValidation:
 
     def test_leader(self):
         assert Master(3).leader_id == 0
+
+
+class TestStalenessClocks:
+    """Bounded-staleness mode: layer clocks replace the phase barrier."""
+
+    def test_rejects_negative_staleness(self):
+        with pytest.raises(TrainingError, match="staleness"):
+            Master(2, staleness=-1)
+
+    def test_clock_counts_layers_started(self):
+        master = Master(2, staleness=1)
+        advance_to_round(master)
+        assert master.worker_clock(0) == 0
+        advance_all(master, WorkerPhase.BUILD_HISTOGRAM)
+        assert master.worker_clock(0) == 1
+        assert master.worker_clock(1) == 1
+        assert master.clock_drift() == 0
+
+    def test_drift_within_bound_is_legal(self):
+        """With S=1, a worker may run one full layer ahead of its peers
+        — the strict phase barrier would have raised immediately."""
+        master = Master(2, staleness=1)
+        advance_to_round(master)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(0, WorkerPhase.FIND_SPLIT)
+        master.enter_phase(0, WorkerPhase.SPLIT_TREE)
+        assert master.clock_drift() == 1
+
+    def test_drift_beyond_bound_raises(self):
+        master = Master(2, staleness=1)
+        advance_to_round(master)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(0, WorkerPhase.FIND_SPLIT)
+        master.enter_phase(0, WorkerPhase.SPLIT_TREE)
+        with pytest.raises(TrainingError, match="staleness bound exceeded"):
+            master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+
+    def test_peer_progress_unblocks_the_leader(self):
+        master = Master(2, staleness=1)
+        advance_to_round(master)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(0, WorkerPhase.FIND_SPLIT)
+        master.enter_phase(0, WorkerPhase.SPLIT_TREE)
+        master.enter_phase(1, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)  # now legal
+        assert master.worker_clock(0) == 2
+        assert master.clock_drift() == 1
+
+    def test_departed_workers_leave_the_bound(self):
+        """A crashed laggard must not freeze the cluster: the bound is
+        computed over live peers only."""
+        master = Master(3, staleness=1)
+        advance_to_round(master)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.enter_phase(1, WorkerPhase.BUILD_HISTOGRAM)
+        master.mark_departed(2)
+        master.enter_phase(0, WorkerPhase.FIND_SPLIT)
+        master.enter_phase(0, WorkerPhase.SPLIT_TREE)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        assert master.worker_clock(0) == 2
+        assert master.clock_drift() == 1  # over workers 0 and 1 only
+
+    def test_rollback_resynchronizes_clocks(self):
+        master = Master(2, staleness=1)
+        advance_to_round(master)
+        master.enter_phase(0, WorkerPhase.BUILD_HISTOGRAM)
+        master.mark_departed(1)
+        master.rollback_round()
+        assert master.worker_clock(0) == master.worker_clock(1) == 1
+        assert master.clock_drift() == 0
+
+    def test_synchronous_mode_still_tracks_clocks(self):
+        """S=0 keeps the strict barrier *and* the clocks, so drift is
+        observable (always 0 at barriers) without behavior change."""
+        master = Master(2)
+        advance_to_round(master)
+        advance_all(master, WorkerPhase.BUILD_HISTOGRAM)
+        assert master.worker_clock(0) == 1
+        assert master.clock_drift() == 0
