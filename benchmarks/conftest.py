@@ -22,6 +22,16 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--tiny",
+        action="store_true",
+        default=False,
+        help="run benches at fixed smoke scale (CI serving smoke step); "
+        "overrides REPRO_BENCH_SCALE-derived sizes where supported",
+    )
+
 #: Collected tables: list of (title, header, rows, notes).
 _TABLES: list[tuple[str, list[str], list[list[object]], str]] = []
 

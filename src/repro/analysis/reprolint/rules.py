@@ -7,9 +7,10 @@ suite only enforces dynamically:
   ``numpy.random.Generator`` (``repro.utils.rng.spawn_rng``); module-
   level RNG state would break bit-identity across runs and backends.
 * RP002 ``wall-clock-outside-seam`` — real-time reads live in the phase
-  accounting seam (``runtime/phases.py`` / ``runtime/build.py``) or go
-  through :func:`repro.utils.timing.wall_clock`; stray ``time.*`` pairs
-  produce unphased seconds no report can attribute.
+  accounting seam (``runtime/phases.py`` / ``runtime/build.py``), the
+  serving runtime's timing seam (``serving/clock.py``), or go through
+  :func:`repro.utils.timing.wall_clock`; stray ``time.*`` pairs produce
+  unphased seconds no report can attribute.
 * RP003 ``shm-lifecycle`` — a class creating ``SharedMemory(create=True)``
   segments must also release them (a method calling both ``close()`` and
   ``unlink()``) and manage lifetime (``__exit__`` or ``__del__``); the
@@ -164,10 +165,14 @@ class WallClockOutsideSeam(Rule):
     #: The accounting seam: the only modules allowed to read the clock
     #: directly.  ``utils/timing.py`` is *not* listed — its primitives
     #: carry audited inline suppressions instead, so the seam stays
-    #: exactly the two runtime modules the phase accountant owns.
+    #: the two runtime modules the phase accountant owns plus the
+    #: serving runtime's single timing seam (``serving/clock.py``):
+    #: every event-loop deadline, admission stamp, and stage latency of
+    #: the online runtime reads that module, never ``time.*`` directly.
     _ALLOWED_SUFFIXES = (
         "repro/runtime/phases.py",
         "repro/runtime/build.py",
+        "repro/serving/clock.py",
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

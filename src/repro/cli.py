@@ -1,17 +1,19 @@
 """Command-line interface.
 
-Five subcommands cover the offline workflow end to end::
+Subcommands cover the workflow end to end::
 
     python -m repro.cli generate --preset rcv1 --scale 0.3 --out data.libsvm
     python -m repro.cli train data.libsvm --model model.json --trees 20
     python -m repro.cli predict model.json data.libsvm --out scores.txt
     python -m repro.cli evaluate model.json data.libsvm
     python -m repro.cli compare data.libsvm --workers 8
+    python -m repro.cli serve model.json --port 7736
 
 ``train`` runs the single-machine trainer by default; pass ``--system``
 to train on the simulated cluster with any of the five system backends.
 ``compare`` races all systems on one dataset and prints the Figure 12
-style summary.
+style summary.  ``serve`` hosts a model over NDJSON/TCP with async
+micro-batching and hot-swap (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -173,11 +175,13 @@ def cmd_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.agg_window > 1 or args.staleness > 0) and not args.system:
+    if (
+        args.agg_window > 1 or args.staleness > 0 or args.speed_jitter > 0
+    ) and not args.system:
         print(
-            "error: --agg-window/--staleness require --system (local "
-            "aggregation and bounded staleness target the simulated "
-            "cluster)",
+            "error: --agg-window/--staleness/--speed-jitter require "
+            "--system (local aggregation, bounded staleness, and speed "
+            "jitter target the simulated cluster)",
             file=sys.stderr,
         )
         return 2
@@ -195,6 +199,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             n_workers=grid[0] * grid[1] if grid else args.workers,
             n_servers=args.servers,
             grid=grid,
+            speed_jitter=args.speed_jitter,
         )
         result = train_distributed(
             args.system,
@@ -284,6 +289,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
         for system, t in times.items():
             if system != "dimboost":
                 print(f"dimboost speedup vs {system}: {t / times['dimboost']:.2f}x")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import (
+        ModelStore,
+        ServingConfig,
+        ServingRuntime,
+        ServingServer,
+    )
+
+    serving_config = ServingConfig(
+        max_batch_rows=args.max_batch_rows,
+        max_batch_delay_ms=args.max_batch_delay_ms,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        n_processes=args.n_processes,
+        batch_rows=args.batch_rows,
+    )
+    store = ModelStore(
+        n_processes=serving_config.n_processes,
+        batch_rows=serving_config.batch_rows,
+    )
+    version = store.load(args.model)
+    print(
+        f"loaded {args.model}: version {version.version}, "
+        f"{version.model.n_trees} trees, {version.n_features} features"
+    )
+
+    async def run() -> None:
+        runtime = ServingRuntime(store, serving_config)
+        server = ServingServer(runtime, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving NDJSON on {server.host}:{server.port} "
+            f"(max_batch_rows={serving_config.max_batch_rows}, "
+            f"max_batch_delay_ms={serving_config.max_batch_delay_ms})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        print("shutdown requested; stopped")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; stopped")
+    finally:
+        store.close()
     return 0
 
 
@@ -384,6 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
         "layers ahead (requires --system; 0 = synchronous barriers, "
         "bit-identical to default)",
     )
+    train.add_argument(
+        "--speed-jitter",
+        type=float,
+        default=0.0,
+        help="per-layer worker speed noise amplitude in [0, 1) — rotating "
+        "stragglers in the simulated clock (requires --system; clock "
+        "accounting only, model bits unchanged)",
+    )
     _add_train_options(train)
     train.set_defaults(func=cmd_train)
 
@@ -411,6 +474,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_train_options(compare)
     compare.set_defaults(func=cmd_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a model over NDJSON/TCP with async micro-batching",
+    )
+    serve.add_argument("model", help="model JSON (the engine's FINISH artifact)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=256,
+        help="flush a micro-batch at this many rows (1 = no coalescing)",
+    )
+    serve.add_argument(
+        "--max-batch-delay-ms",
+        type=float,
+        default=2.0,
+        help="flush an under-filled batch after this delay (p99 bound)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="admission bound; requests beyond it are rejected explicitly",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline; expired requests are shed "
+        "at dequeue instead of scored late",
+    )
+    _add_inference_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint",

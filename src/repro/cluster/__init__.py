@@ -22,7 +22,7 @@ from .costmodel import (
     crossover_workers,
     SYSTEM_NAMES,
 )
-from .simclock import SimClock
+from .simclock import LayerSpeedJitter, SimClock
 from .collectives import (
     CollectiveResult,
     reduce_to_coordinator,
@@ -42,6 +42,7 @@ __all__ = [
     "aggregation_time",
     "crossover_workers",
     "SYSTEM_NAMES",
+    "LayerSpeedJitter",
     "SimClock",
     "CollectiveResult",
     "reduce_to_coordinator",

@@ -6,13 +6,87 @@ every worker independently spends ``t_i`` seconds advances the cluster
 clock by ``max(t_i)`` (the synchronization barrier of Section 4.4 makes
 every phase end when the slowest worker finishes).  Communication time
 comes from the cost model and is added directly.
+
+:class:`LayerSpeedJitter` adds *per-layer* multiplicative speed noise on
+top of the static ``ClusterConfig.worker_speeds``: real clusters do not
+have one permanently slow machine so much as a rotating straggler (GC
+pauses, co-tenant interference, network hiccups).  Under a persistent
+straggler, bounded staleness ties pure windowing — both wait for the
+same machine every sync.  Under rotating stragglers the synchronous
+barrier pays ``sum over layers of max over workers`` while staleness
+lanes pay ``max over workers of sum over layers``, which is strictly
+less whenever the slowest worker changes between layers.  The jitter is
+pure clock accounting: trained model bits are provably unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from ..errors import CommunicationError
+import numpy as np
+
+from ..errors import CommunicationError, ConfigError
+from ..utils.rng import spawn_rng
+
+__all__ = ["LayerSpeedJitter", "SimClock"]
+
+
+class LayerSpeedJitter:
+    """Deterministic per-(layer, worker) multiplicative speed factors.
+
+    Each tree layer ``l`` draws one factor per worker from
+    ``spawn_rng(seed, "layer-speed-jitter", l)``, uniform in
+    ``[1 - amplitude, 1 + amplitude]``.  A worker's effective speed for
+    that layer is ``speed_of(wid) * factor``; its scaled compute is
+    divided by the factor.  Factors are keyed by the layer counter, not
+    by call order, so re-running the same configuration replays the same
+    noise (RP001's seeded-randomness invariant).
+
+    Args:
+        n_workers: Workers in the simulated cluster.
+        amplitude: Half-width of the uniform factor band; must be in
+            ``(0, 1)`` so factors stay positive.
+        seed: Run-level seed the per-layer streams derive from.
+    """
+
+    def __init__(self, n_workers: int, amplitude: float, seed: int = 0) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0.0 < amplitude < 1.0:
+            raise ConfigError(
+                f"jitter amplitude must be in (0, 1), got {amplitude}"
+            )
+        self.n_workers = n_workers
+        self.amplitude = amplitude
+        self.seed = seed
+        self._layer = 0
+        self._factors = self._draw(0)
+
+    def _draw(self, layer: int) -> np.ndarray:
+        rng = spawn_rng(self.seed, "layer-speed-jitter", layer)
+        span = rng.random(self.n_workers, dtype=np.float64) * 2.0 - 1.0
+        return 1.0 + self.amplitude * span
+
+    @property
+    def layer(self) -> int:
+        """Index of the layer the current factors belong to."""
+        return self._layer
+
+    @property
+    def factors(self) -> np.ndarray:
+        """Current per-worker speed factors (read-only copy)."""
+        return self._factors.copy()
+
+    def factor_of(self, worker_id: int) -> float:
+        """Current speed factor of one worker (1.0 past the roster)."""
+        if 0 <= worker_id < self.n_workers:
+            return float(self._factors[worker_id])
+        return 1.0
+
+    def advance(self) -> None:
+        """Move to the next layer's factors."""
+        self._layer += 1
+        self._factors = self._draw(self._layer)
 
 
 class SimClock:
@@ -25,12 +99,16 @@ class SimClock:
 
     Attributes:
         time: Current simulated time in seconds.
+        jitter: Optional per-layer speed noise applied to every parallel
+            region (:meth:`barrier` and the staleness lanes' deferred
+            seconds via :meth:`jittered`).
     """
 
-    __slots__ = ("time", "_comm", "_comp", "_by_phase")
+    __slots__ = ("time", "jitter", "_comm", "_comp", "_by_phase")
 
-    def __init__(self) -> None:
+    def __init__(self, jitter: LayerSpeedJitter | None = None) -> None:
         self.time = 0.0
+        self.jitter = jitter
         self._comm = 0.0
         self._comp = 0.0
         self._by_phase: dict[str, float] = {}
@@ -49,6 +127,32 @@ class SimClock:
         """Seconds charged per phase label (labelled charges only)."""
         return dict(self._by_phase)
 
+    def jitter_factor(self, worker_id: int) -> float:
+        """This layer's speed factor for one worker (1.0 without jitter)."""
+        if self.jitter is None:
+            return 1.0
+        return self.jitter.factor_of(worker_id)
+
+    def jittered(self, per_worker_seconds: Sequence[float]) -> list[float]:
+        """Divide per-worker seconds by this layer's speed factors.
+
+        Identity without jitter.  Callers that route seconds *around*
+        :meth:`barrier` (the staleness lanes) apply this exactly once at
+        defer time; :meth:`barrier` applies it internally, so plain
+        barrier callers must pass un-jittered seconds.
+        """
+        if self.jitter is None:
+            return list(per_worker_seconds)
+        return [
+            seconds / self.jitter.factor_of(wid)
+            for wid, seconds in enumerate(per_worker_seconds)
+        ]
+
+    def next_layer(self) -> None:
+        """Advance the jitter to the next tree layer (no-op without)."""
+        if self.jitter is not None:
+            self.jitter.advance()
+
     def advance_comm(self, seconds: float, phase: str | None = None) -> None:
         """Charge ``seconds`` of communication time."""
         self._charge(seconds, phase)
@@ -65,13 +169,15 @@ class SimClock:
         """End a parallel compute region: advance by the slowest worker.
 
         Args:
-            per_worker_seconds: Measured compute time of each worker.
+            per_worker_seconds: Measured compute time of each worker,
+                already divided by static speeds but *not* by the layer
+                jitter (applied here).
             phase: Optional phase label for the charge.
 
         Returns:
             The seconds charged (the maximum, 0.0 if empty).
         """
-        worst = max(per_worker_seconds, default=0.0)
+        worst = max(self.jittered(list(per_worker_seconds)), default=0.0)
         self.advance_compute(worst, phase)
         return worst
 

@@ -250,6 +250,13 @@ class ClusterConfig:
             worker ``r * cols + c`` holds row band ``r`` × feature stripe
             ``c``.  ``None`` (the default) is plain row sharding,
             equivalent to ``(n_workers, 1)``.
+        speed_jitter: Amplitude of per-layer multiplicative speed noise
+            (``0.0`` disables, must stay below 1.0): each tree layer
+            every worker's effective speed is ``speed_of(wid) * f`` with
+            ``f`` drawn uniformly from ``[1 - a, 1 + a]`` by a seeded
+            per-layer stream.  Models rotating stragglers — the regime
+            where bounded staleness beats pure windowing.  Pure clock
+            accounting; trained model bits are unchanged.
     """
 
     n_workers: int = 4
@@ -259,6 +266,7 @@ class ClusterConfig:
     loading_bytes_per_second: float = 200e6
     worker_speeds: tuple[float, ...] | None = None
     grid: tuple[int, int] | None = None
+    speed_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         _require(self.n_workers >= 1, f"n_workers must be >= 1, got {self.n_workers}")
@@ -284,6 +292,10 @@ class ClusterConfig:
             self.loading_bytes_per_second > 0.0,
             f"loading_bytes_per_second must be > 0, got "
             f"{self.loading_bytes_per_second}",
+        )
+        _require(
+            0.0 <= self.speed_jitter < 1.0,
+            f"speed_jitter must be in [0, 1), got {self.speed_jitter}",
         )
         if self.worker_speeds is not None:
             speeds = tuple(float(s) for s in self.worker_speeds)

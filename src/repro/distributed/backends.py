@@ -934,6 +934,18 @@ class DimBoostBackend(_WindowedPushMixin, AggregationBackend):
             # Drain partial windows: a layer boundary must see every
             # delta, so windows never span layers.
             self._flush_windows(clock)
+        if (
+            isinstance(self.scheduler, SpeedWeightedScheduler)
+            and clock.jitter is not None
+        ):
+            # Track the rotating straggler: assignment weights use this
+            # layer's effective speeds, not the static average.
+            self.scheduler.update_speeds(
+                [
+                    self.cluster.speed_of(wid) * clock.jitter_factor(wid)
+                    for wid in range(self.cluster.n_workers)
+                ]
+            )
         assignment = self.scheduler.assign(nodes)
         decisions: dict[int, SplitDecision | None] = {}
         per_worker_seconds = [0.0] * self.cluster.n_workers

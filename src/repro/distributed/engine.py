@@ -45,7 +45,7 @@ from ..chaos import (
 )
 from ..cluster.collectives import point_to_point_time
 from ..cluster.costmodel import CostParams
-from ..cluster.simclock import SimClock
+from ..cluster.simclock import LayerSpeedJitter, SimClock
 from ..config import ClusterConfig, TrainConfig
 from ..datasets.dataset import Dataset
 from ..datasets.partition import BlockPartitioner, DataBlock, GridSpec
@@ -373,6 +373,9 @@ class _ShardedGrowthStrategy(TreeGrowthStrategy):
                 # One tree layer finished: bounded staleness syncs the
                 # deferred barrier lanes every S + 1 layers.
                 runner.lanes.layer_boundary(self.clock)
+            # Roll the per-layer speed jitter regardless of staleness so
+            # sync and async runs draw from the same factor stream.
+            self.clock.next_layer()
             active = next_active
 
         # Leaf assignment per grid row from its index (free predictions).
@@ -588,7 +591,18 @@ class DistributedGBDT:
         config = self.config
         cluster = self.cluster
         loss = get_loss(config.loss)
-        clock = SimClock()
+        # Per-layer speed jitter (rotating stragglers) rides on the
+        # clock so every parallel region — synchronous barriers and
+        # deferred staleness lanes alike — prices compute with the same
+        # seeded factor stream.  Accounting only: model bits unchanged.
+        jitter = (
+            LayerSpeedJitter(
+                cluster.n_workers, cluster.speed_jitter, seed=config.seed
+            )
+            if cluster.speed_jitter > 0.0
+            else None
+        )
+        clock = SimClock(jitter=jitter)
         master = Master(cluster.n_workers, staleness=config.staleness)
 
         chaos: ChaosRuntime | None = None

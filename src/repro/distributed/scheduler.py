@@ -117,6 +117,21 @@ class SpeedWeightedScheduler:
         self.n_workers = n_workers
         self.speeds = list(speeds)
 
+    def update_speeds(self, speeds: list[float]) -> None:
+        """Refresh the speed estimates before the next assignment.
+
+        Lets the backend feed *effective* per-layer speeds (static speed
+        × the clock's layer jitter factor) so assignment tracks the
+        rotating straggler instead of a stale average.
+        """
+        if len(speeds) != self.n_workers:
+            raise TrainingError(
+                f"speeds must have {self.n_workers} entries, got {len(speeds)}"
+            )
+        if any(s <= 0 for s in speeds):
+            raise TrainingError(f"speeds must be positive, got {speeds}")
+        self.speeds = list(speeds)
+
     def assign(self, active_nodes: list[int]) -> dict[int, list[int]]:
         """Greedy normalized-load assignment (deterministic)."""
         assignment: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}

@@ -73,3 +73,26 @@ class TrainingError(ReproError):
 
 class NotFittedError(TrainingError):
     """A model was asked to predict before it was trained."""
+
+
+class ServingError(ReproError):
+    """The online serving runtime was used incorrectly.
+
+    Examples: submitting a request before the runtime started, loading a
+    model whose artifact cannot be compiled, or scoring features outside
+    the served model's dimensionality.
+    """
+
+
+class RequestRejectedError(ServingError):
+    """A request was shed by admission or deadline control.
+
+    The runtime prefers an explicit, immediate rejection over queue
+    collapse: the admission queue is full, the request's deadline expired
+    while it waited, or the runtime is shutting down.  The ``reason``
+    attribute carries the machine-readable cause.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason

@@ -332,6 +332,24 @@ class ParallelScorer:
             self._contexts[id(X)] = entry
         return entry[1]
 
+    def release(self, X: CSRMatrix) -> bool:
+        """Unpin one matrix: unlink its shared-memory context now.
+
+        The context cache keys by ``id(X)`` and holds a strong reference,
+        which is right for the offline pattern (score the same matrix
+        many times) but pins one segment set per matrix forever under
+        the serving pattern (a fresh matrix per micro-batch).  Callers
+        that build throwaway matrices release them after scoring.
+
+        Returns:
+            True if a context for ``X`` existed and was released.
+        """
+        entry = self._contexts.pop(id(X), None)
+        if entry is None:
+            return False
+        entry[1].close()
+        return True
+
     def _disable(self, reason: str) -> None:
         self.fallback_reason = reason
         warnings.warn(

@@ -219,14 +219,18 @@ class PhaseStage:
 
         Under bounded staleness (``runner.lanes`` set) nothing is
         charged here: the scaled seconds accumulate in the per-worker
-        lanes and the clock pays only at the next staleness sync.
+        lanes and the clock pays only at the next staleness sync.  The
+        clock's per-layer speed jitter is applied exactly once on either
+        path — inside ``clock.barrier`` on the synchronous one, at defer
+        time on the lanes one (the current layer's factors must price
+        the seconds, not whichever layer the sync lands on).
         """
         clock = self.runner.clock
         if clock is None:
             return 0.0
         scaled = scale_by_speeds(timer.seconds, self.runner.cluster)
         if self.runner.lanes is not None:
-            self.runner.lanes.defer(scaled, self.phase.value)
+            self.runner.lanes.defer(clock.jittered(scaled), self.phase.value)
             return 0.0
         return clock.barrier(scaled, phase=self.phase.value)
 

@@ -1,0 +1,35 @@
+"""Online model serving: async micro-batching over the compiled ensemble.
+
+Training ends with a compiled :class:`~repro.inference.flat.FlatEnsemble`
+(the engine's FINISH artifact); this package serves it to request
+traffic.  The pieces, hot path first:
+
+* :mod:`runtime` — the asyncio admission queue + dynamic micro-batcher:
+  single-row requests coalesce into the cache-sized row blocks the flat
+  kernel wants, flushing on ``max_batch_rows`` or a
+  ``max_batch_delay_ms`` deadline, with explicit load shedding.
+* :mod:`store` — versioned :class:`ModelStore` with atomic hot-swap
+  (pointer flip; in-flight batches finish on the old version).
+* :mod:`server` — NDJSON-over-TCP front end (the ``repro serve`` verb).
+* :mod:`metrics` — queue depth, batch-size histogram, stage latencies.
+* :mod:`clock` — the package's single RP002-whitelisted timing seam.
+
+See ``docs/serving.md`` for architecture and bench results, and
+``benchmarks/bench_ext_serving.py`` for the traffic-replay harness.
+"""
+
+from .metrics import LatencyStat, ServingMetrics
+from .runtime import Prediction, ServingConfig, ServingRuntime
+from .server import ServingServer
+from .store import ModelStore, ModelVersion
+
+__all__ = [
+    "LatencyStat",
+    "ModelStore",
+    "ModelVersion",
+    "Prediction",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingRuntime",
+    "ServingServer",
+]

@@ -103,9 +103,32 @@ def test_good_twin_is_clean(code):
 
 
 def test_rp002_seam_modules_are_exempt():
-    source = fixture_source("RP002", "bad")
-    for seam in ("repro/runtime/phases.py", "repro/runtime/build.py"):
-        assert lint_source(source, seam, get_rules(select=["RP002"])) == []
+    for source in (
+        fixture_source("RP002", "bad"),
+        fixture_source("RP002_serving", "bad"),
+    ):
+        for seam in (
+            "repro/runtime/phases.py",
+            "repro/runtime/build.py",
+            "repro/serving/clock.py",
+        ):
+            assert lint_source(source, seam, get_rules(select=["RP002"])) == []
+
+
+def test_rp002_patrols_serving_outside_its_clock_seam():
+    """Serving modules other than clock.py stay under the RP002 audit."""
+    bad = fixture_source("RP002_serving", "bad")
+    expected = expected_lines(bad, "RP002")
+    assert expected, "serving bad fixture has no expect markers"
+    findings = lint_source(
+        bad, "repro/serving/fixture.py", get_rules(select=["RP002"])
+    )
+    assert [f.line for f in findings] == expected
+    good = fixture_source("RP002_serving", "good")
+    assert (
+        lint_source(good, "repro/serving/fixture.py", get_rules(select=["RP002"]))
+        == []
+    )
 
 
 def test_rp005_only_fires_in_kernel_packages():
@@ -304,6 +327,9 @@ def test_src_tree_waiver_budget():
         ("RP004", "repro/inference/parallel.py"),
     }
     assert len(result.suppressed) == 5
+    # The serving package whitelists clock.py in the rule itself; it
+    # must not need a single inline waiver.
+    assert not any(f.path.startswith("repro/serving/") for f in result.suppressed)
 
 
 # ----------------------------------------------------------------------

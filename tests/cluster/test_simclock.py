@@ -1,11 +1,12 @@
-"""Tests for the simulated clock."""
+"""Tests for the simulated clock and per-layer speed jitter."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.cluster import SimClock
-from repro.errors import CommunicationError
+from repro.cluster import LayerSpeedJitter, SimClock
+from repro.errors import CommunicationError, ConfigError
 
 
 class TestSimClock:
@@ -45,3 +46,75 @@ class TestSimClock:
         clock = SimClock()
         clock.advance_comm(1.0)
         assert "comm=1.0" in repr(clock)
+
+
+class TestLayerSpeedJitter:
+    def test_amplitude_validated(self):
+        for amplitude in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ConfigError, match="amplitude"):
+                LayerSpeedJitter(4, amplitude)
+        with pytest.raises(ConfigError, match="n_workers"):
+            LayerSpeedJitter(0, 0.2)
+
+    def test_factors_within_band(self):
+        jitter = LayerSpeedJitter(64, 0.3, seed=5)
+        for _ in range(10):
+            factors = jitter.factors
+            assert np.all(factors >= 0.7) and np.all(factors <= 1.3)
+            jitter.advance()
+
+    def test_deterministic_and_keyed_by_layer(self):
+        """Factors replay across runs and depend on the layer index,
+        not on call order (RP001's seeded-randomness invariant)."""
+        a = LayerSpeedJitter(8, 0.2, seed=3)
+        b = LayerSpeedJitter(8, 0.2, seed=3)
+        streams = []
+        for _ in range(4):
+            np.testing.assert_array_equal(a.factors, b.factors)
+            streams.append(a.factors)
+            a.advance()
+            b.advance()
+        # Different layers draw different noise...
+        assert not np.array_equal(streams[0], streams[1])
+        # ...and different seeds draw different streams.
+        other = LayerSpeedJitter(8, 0.2, seed=4)
+        assert not np.array_equal(streams[0], other.factors)
+
+    def test_factor_of_past_roster_is_identity(self):
+        jitter = LayerSpeedJitter(2, 0.2, seed=0)
+        assert jitter.factor_of(2) == 1.0
+        assert jitter.factor_of(-1) == 1.0
+
+
+class TestSimClockJitter:
+    def test_jittered_identity_without_jitter(self):
+        clock = SimClock()
+        assert clock.jittered([0.1, 0.2]) == [0.1, 0.2]
+        assert clock.jitter_factor(0) == 1.0
+        clock.next_layer()  # no-op, must not raise
+
+    def test_jittered_divides_by_factors(self):
+        jitter = LayerSpeedJitter(3, 0.25, seed=7)
+        clock = SimClock(jitter=jitter)
+        seconds = [0.3, 0.3, 0.3]
+        expected = [
+            s / jitter.factor_of(w) for w, s in enumerate(seconds)
+        ]
+        assert clock.jittered(seconds) == pytest.approx(expected)
+
+    def test_barrier_charges_jittered_max(self):
+        jitter = LayerSpeedJitter(3, 0.25, seed=7)
+        clock = SimClock(jitter=jitter)
+        seconds = [0.3, 0.3, 0.3]
+        worst = max(
+            s / jitter.factor_of(w) for w, s in enumerate(seconds)
+        )
+        assert clock.barrier(seconds) == pytest.approx(worst)
+        assert clock.computation == pytest.approx(worst)
+
+    def test_next_layer_changes_factors(self):
+        clock = SimClock(jitter=LayerSpeedJitter(4, 0.3, seed=1))
+        before = [clock.jitter_factor(w) for w in range(4)]
+        clock.next_layer()
+        after = [clock.jitter_factor(w) for w in range(4)]
+        assert before != after

@@ -76,6 +76,40 @@ class TestStragglerEffect:
             b.model.predict_raw(small_dataset.X),
         )
 
+    def test_jitter_amplitude_validated(self):
+        with pytest.raises(ConfigError, match="speed_jitter"):
+            ClusterConfig(n_workers=2, speed_jitter=1.0)
+        with pytest.raises(ConfigError, match="speed_jitter"):
+            ClusterConfig(n_workers=2, speed_jitter=-0.1)
+
+    def test_jitter_never_changes_model(self, small_dataset):
+        """Per-layer speed jitter is pure clock accounting: trained
+        model bits are unchanged, with and without the knob, across
+        replays.  (Simulated seconds are built from *measured* compute,
+        so only the model — not the clock — is replayable.)"""
+        config = TrainConfig(n_trees=2, max_depth=4, n_split_candidates=8)
+        plain = train_distributed(
+            "dimboost",
+            small_dataset,
+            ClusterConfig(n_workers=3, n_servers=3),
+            config,
+            compression_bits=0,
+        )
+        reference = plain.model.predict_raw(small_dataset.X)
+        for amplitude in (0.2, 0.3):
+            jittered = train_distributed(
+                "dimboost",
+                small_dataset,
+                ClusterConfig(
+                    n_workers=3, n_servers=3, speed_jitter=amplitude
+                ),
+                config,
+                compression_bits=0,
+            )
+            np.testing.assert_array_equal(
+                reference, jittered.model.predict_raw(small_dataset.X)
+            )
+
     def test_uniformly_fast_cluster_is_faster(self, small_dataset):
         config = TrainConfig(n_trees=2, max_depth=4, n_split_candidates=8)
         nominal = train_distributed(

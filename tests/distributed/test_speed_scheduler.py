@@ -53,6 +53,24 @@ class TestAssignment:
         with pytest.raises(TrainingError):
             SpeedWeightedScheduler(2, speeds=[1.0, -1.0])
 
+    def test_update_speeds_shifts_assignment(self):
+        """Refreshed per-layer speeds re-aim the next assignment — the
+        hook the backend uses to track the rotating (jittered)
+        straggler."""
+        scheduler = SpeedWeightedScheduler(2, speeds=[1.0, 1.0])
+        balanced = scheduler.assign(list(range(12)))
+        assert len(balanced[0]) == len(balanced[1])
+        scheduler.update_speeds([3.0, 1.0])
+        skewed = scheduler.assign(list(range(12)))
+        assert len(skewed[0]) > len(skewed[1])
+
+    def test_update_speeds_validation(self):
+        scheduler = SpeedWeightedScheduler(2)
+        with pytest.raises(TrainingError):
+            scheduler.update_speeds([1.0])
+        with pytest.raises(TrainingError):
+            scheduler.update_speeds([1.0, 0.0])
+
 
 class TestEndToEnd:
     def test_mitigates_straggler_find_split(self, small_dataset):

@@ -1,0 +1,282 @@
+"""ServingRuntime: batching policy, admission control, load shedding."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, RequestRejectedError, ServingError
+from repro.serving import ModelStore, ServingConfig, ServingRuntime
+
+from .conftest import make_rows, rows_to_csr
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def store(artifact_a):
+    with ModelStore() as s:
+        s.load(artifact_a)
+        yield s
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_batch_rows=0),
+            dict(max_batch_delay_ms=-1.0),
+            dict(queue_limit=0),
+            dict(deadline_ms=0.0),
+            dict(n_processes=0),
+            dict(batch_rows=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServingConfig(**kwargs)
+
+
+class TestLifecycle:
+    def test_submit_before_start_is_shed(self, store):
+        async def body():
+            runtime = ServingRuntime(store)
+            with pytest.raises(RequestRejectedError) as err:
+                await runtime.submit([1], [1.0])
+            assert err.value.reason == "shutdown"
+
+        run(body())
+
+    def test_start_requires_loaded_store(self):
+        async def body():
+            with pytest.raises(ServingError, match="no version"):
+                await ServingRuntime(ModelStore()).start()
+
+        run(body())
+
+    def test_double_start_rejected(self, store):
+        async def body():
+            runtime = ServingRuntime(store)
+            await runtime.start()
+            try:
+                with pytest.raises(ServingError, match="already started"):
+                    await runtime.start()
+            finally:
+                await runtime.stop()
+
+        run(body())
+
+    def test_stop_then_restart(self, store):
+        async def body():
+            runtime = ServingRuntime(store)
+            await runtime.start()
+            await runtime.stop()
+            assert not runtime.running
+            with pytest.raises(RequestRejectedError):
+                await runtime.submit([1], [1.0])
+            await runtime.start()
+            prediction = await runtime.submit([1], [1.0])
+            await runtime.stop()
+            return prediction
+
+        prediction = run(body())
+        assert prediction.version == 1
+
+
+class TestAdmissionValidation:
+    @pytest.mark.parametrize(
+        "indices, values",
+        [
+            ([3, 1], [1.0, 1.0]),  # not increasing
+            ([1, 1], [1.0, 1.0]),  # duplicate
+            ([-1], [1.0]),  # negative
+            ([9999], [1.0]),  # past n_features
+            ([1, 2], [1.0]),  # length mismatch
+        ],
+    )
+    def test_bad_rows_raise_serving_error(self, store, indices, values):
+        async def body():
+            runtime = ServingRuntime(store)
+            await runtime.start()
+            try:
+                with pytest.raises(ServingError):
+                    await runtime.submit(indices, values)
+            finally:
+                await runtime.stop()
+
+        run(body())
+
+    def test_empty_row_is_valid(self, store):
+        async def body():
+            runtime = ServingRuntime(store)
+            await runtime.start()
+            try:
+                return await runtime.submit([], [])
+            finally:
+                await runtime.stop()
+
+        prediction = run(body())
+        assert np.isfinite(prediction.raw)
+
+
+class TestBatching:
+    def test_backlog_coalesces_into_one_batch(self, store, model_a):
+        """Requests admitted before the loop drains ride one flush."""
+        rows = make_rows(3, 10)
+
+        async def body():
+            runtime = ServingRuntime(
+                store, ServingConfig(max_batch_rows=64, max_batch_delay_ms=50)
+            )
+            await runtime.start()
+            tasks = [
+                asyncio.create_task(runtime.submit(idx, val))
+                for idx, val in rows
+            ]
+            predictions = await asyncio.gather(*tasks)
+            await runtime.stop()
+            return predictions
+
+        predictions = run(body())
+        assert [p.batch_size for p in predictions] == [10] * 10
+        assert len({p.batch_seq for p in predictions}) == 1
+        direct = model_a.compiled().predict_raw(
+            rows_to_csr(rows), base_score=model_a.base_score
+        )
+        assert np.array_equal(np.array([p.raw for p in predictions]), direct)
+
+    def test_max_batch_rows_splits_backlog(self, store):
+        rows = make_rows(4, 10)
+
+        async def body():
+            runtime = ServingRuntime(
+                store, ServingConfig(max_batch_rows=4, max_batch_delay_ms=0.0)
+            )
+            await runtime.start()
+            tasks = [
+                asyncio.create_task(runtime.submit(idx, val))
+                for idx, val in rows
+            ]
+            predictions = await asyncio.gather(*tasks)
+            await runtime.stop()
+            return predictions, dict(runtime.metrics.batch_sizes)
+
+        predictions, sizes = run(body())
+        assert all(p.batch_size <= 4 for p in predictions)
+        assert sum(r * c for r, c in sizes.items()) == 10
+        assert max(sizes) <= 4
+
+    def test_lone_request_flushes_after_delay(self, store):
+        async def body():
+            runtime = ServingRuntime(
+                store,
+                ServingConfig(max_batch_rows=64, max_batch_delay_ms=20.0),
+            )
+            await runtime.start()
+            prediction = await runtime.submit([2, 5], [1.0, -0.5])
+            await runtime.stop()
+            return prediction
+
+        prediction = run(body())
+        assert prediction.batch_size == 1
+        # The batch stayed open for (roughly) the delay budget waiting
+        # for company that never came.
+        assert prediction.queued_ms >= 10.0
+
+    def test_sequential_mode_never_batches(self, store):
+        rows = make_rows(5, 8)
+
+        async def body():
+            runtime = ServingRuntime(
+                store, ServingConfig(max_batch_rows=1, max_batch_delay_ms=0.0)
+            )
+            await runtime.start()
+            tasks = [
+                asyncio.create_task(runtime.submit(idx, val))
+                for idx, val in rows
+            ]
+            predictions = await asyncio.gather(*tasks)
+            await runtime.stop()
+            return predictions
+
+        predictions = run(body())
+        assert all(p.batch_size == 1 for p in predictions)
+        assert len({p.batch_seq for p in predictions}) == len(rows)
+
+
+class TestLoadShedding:
+    @staticmethod
+    def _slow_scorer(store, seconds=0.08):
+        version = store.current()
+        original = version.predict_raw
+
+        def slow(X):
+            time.sleep(seconds)
+            return original(X)
+
+        version.predict_raw = slow
+
+    def test_queue_full_rejection(self, store):
+        self._slow_scorer(store)
+        rows = make_rows(6, 5)
+
+        async def body():
+            runtime = ServingRuntime(
+                store,
+                ServingConfig(
+                    max_batch_rows=1, max_batch_delay_ms=0.0, queue_limit=2
+                ),
+            )
+            await runtime.start()
+            first = asyncio.create_task(runtime.submit(*rows[0]))
+            await asyncio.sleep(0.02)  # let it enter the (slow) flush
+            queued = [
+                asyncio.create_task(runtime.submit(*rows[i]))
+                for i in (1, 2)
+            ]
+            await asyncio.sleep(0)  # run their admissions
+            with pytest.raises(RequestRejectedError) as err:
+                await runtime.submit(*rows[3])
+            assert err.value.reason == "queue_full"
+            results = await asyncio.gather(first, *queued)
+            await runtime.stop()
+            return results, runtime.metrics
+
+        results, metrics = run(body())
+        assert len(results) == 3
+        assert metrics.rejected_queue_full == 1
+        assert metrics.served == 3
+
+    def test_deadline_shed_at_dequeue(self, store):
+        self._slow_scorer(store)
+        rows = make_rows(7, 2)
+
+        async def body():
+            runtime = ServingRuntime(
+                store,
+                ServingConfig(max_batch_rows=1, max_batch_delay_ms=0.0),
+            )
+            await runtime.start()
+            first = asyncio.create_task(runtime.submit(*rows[0]))
+            await asyncio.sleep(0.02)  # first request is mid-flush
+            doomed = asyncio.create_task(
+                runtime.submit(*rows[1], deadline_ms=5.0)
+            )
+            with pytest.raises(RequestRejectedError) as err:
+                await doomed
+            assert err.value.reason == "deadline"
+            prediction = await first
+            await runtime.stop()
+            return prediction, runtime.metrics
+
+        prediction, metrics = run(body())
+        assert prediction.batch_size == 1
+        assert metrics.rejected_deadline == 1
+        # The doomed request's whole batch expired: an empty flush.
+        assert metrics.empty_flushes == 1
+        assert metrics.served == 1

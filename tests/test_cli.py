@@ -150,6 +150,61 @@ class TestCompare:
         assert "dimboost speedup vs xgboost" in out
 
 
+class TestServe:
+    def test_missing_model_is_an_error(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "failed to load artifact" in capsys.readouterr().err
+
+    @pytest.mark.serving
+    def test_serve_verb_end_to_end(self, model_file, capsys):
+        """`repro serve` answers ping/score/shutdown over its socket."""
+        import socket
+        import threading
+        import time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["serve", str(model_file), "--port", str(port)])
+            )
+        )
+        thread.start()
+        conn = None
+        try:
+            for _ in range(200):
+                try:
+                    conn = socket.create_connection(
+                        ("127.0.0.1", port), timeout=0.5
+                    )
+                    break
+                except OSError:
+                    time.sleep(0.025)
+            assert conn is not None, "server never came up"
+            stream = conn.makefile("rw", encoding="utf-8")
+
+            def ask(payload):
+                stream.write(json.dumps(payload) + "\n")
+                stream.flush()
+                return json.loads(stream.readline())
+
+            ping = ask({"op": "ping"})
+            assert ping["ok"] and ping["version"] == 1
+            score = ask({"features": [[0, 1.0]]})
+            assert score["ok"] and score["batch_size"] >= 1
+            assert ask({"op": "shutdown"}) == {"ok": True}
+        finally:
+            if conn is not None:
+                conn.close()
+            thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert "serving NDJSON" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -159,3 +214,29 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "model.json"])
+        assert args.max_batch_rows == 256
+        assert args.max_batch_delay_ms == 2.0
+        assert args.queue_limit == 1024
+        assert args.deadline_ms is None
+        assert args.port == 0
+
+    def test_speed_jitter_requires_system(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                str(dataset_file),
+                "--model",
+                str(tmp_path / "m.json"),
+                "--trees",
+                "1",
+                "--speed-jitter",
+                "0.2",
+            ]
+        )
+        assert code == 2
+        assert "--speed-jitter require" in capsys.readouterr().err
