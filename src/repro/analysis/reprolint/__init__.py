@@ -1,17 +1,23 @@
-"""reprolint — AST-based checker for the repo's reproducibility contracts.
+"""reprolint — whole-program checker for the repo's reproducibility contracts.
 
 Public surface:
 
-* :func:`lint_paths` / :func:`lint_source` — run the rules.
+* :func:`lint_paths` / :func:`lint_source` / :func:`lint_sources` — run
+  the rules (``lint_paths`` and ``lint_sources`` build the project graph
+  that powers RP007–RP010; ``lint_source`` is the single-module fast path).
 * :class:`Finding`, :class:`LintResult` — results.
 * :class:`Rule`, :func:`register`, :func:`all_rules` — extend the rule set.
+* :class:`Project`, :class:`LintConfig` — the import/call-graph layer.
 * :func:`render_text` / :func:`to_json` / :func:`render_json` — reporters.
+* :func:`write_baseline` / :func:`load_baseline` / :func:`new_findings` —
+  the CI diff gate.
 * :func:`main` — the ``python -m repro.analysis`` entry point.
 
-See ``docs/static-analysis.md`` for the rule catalogue (RP001–RP006),
+See ``docs/static-analysis.md`` for the rule catalogue (RP001–RP010),
 the invariants each guards, and the suppression syntax.
 """
 
+from .baseline import load_baseline, new_findings, write_baseline
 from .cli import main
 from .core import (
     Finding,
@@ -23,24 +29,32 @@ from .core import (
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
     register,
 )
+from .project import LintConfig, Project
 from .reporters import JSON_SCHEMA_VERSION, render_json, render_text, to_json
 
 __all__ = [
     "Finding",
     "JSON_SCHEMA_VERSION",
+    "LintConfig",
     "LintResult",
     "ModuleContext",
+    "Project",
     "Rule",
     "all_rules",
     "get_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_baseline",
     "main",
+    "new_findings",
     "register",
     "render_json",
     "render_text",
     "to_json",
+    "write_baseline",
 ]

@@ -1,0 +1,105 @@
+"""Baseline/diff mode: fail on *new* findings only.
+
+Tightening a rule must never block an unrelated PR on pre-existing
+debt.  The committed baseline records every unsuppressed finding the
+tree already carries as a *fingerprint multiset* — ``(rule, path,
+message)`` with a count, deliberately excluding line numbers so a
+finding that merely moves (an edit above it) stays recognized.  A CI
+run with ``--baseline`` then fails only when the current tree has more
+findings of some fingerprint than the baseline allows.
+
+The baseline file is JSON, sorted, and stable, so regenerating it on an
+unchanged tree is a no-op diff::
+
+    python -m repro.analysis src --write-baseline .reprolint-baseline.json
+    python -m repro.analysis src --baseline .reprolint-baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .core import Finding, LintResult
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "new_findings",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> tuple[str, str, str]:
+    """The identity a finding keeps across unrelated edits.
+
+    Line and column are excluded on purpose: code moving *around* a
+    finding must not make it read as new.
+    """
+    return (finding.rule, finding.path, finding.message)
+
+
+def _counts(findings: list[Finding]) -> dict[tuple[str, str, str], int]:
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(result: LintResult, path: str | Path) -> int:
+    """Record the run's unsuppressed findings; returns how many."""
+    counts = _counts(result.unsuppressed)
+    document = {
+        "version": BASELINE_VERSION,
+        "tool": "reprolint",
+        "entries": [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(result.unsuppressed)
+
+
+def load_baseline(path: str | Path) -> Mapping[tuple[str, str, str], int]:
+    """Parse a baseline file back into its fingerprint multiset."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in document.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def new_findings(
+    result: LintResult, baseline: Mapping[tuple[str, str, str], int]
+) -> list[Finding]:
+    """Unsuppressed findings beyond the baseline's allowance.
+
+    Findings are matched to the allowance in engine order (path, line,
+    col, rule), so when a fingerprint's count grows from N to N+1 the
+    *last* occurrence is the one reported — deterministic either way.
+    """
+    remaining = dict(baseline)
+    fresh: list[Finding] = []
+    for finding in result.unsuppressed:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -38,9 +38,12 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import LintConfig, Project
 
 __all__ = [
     "Finding",
@@ -52,6 +55,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register",
 ]
 
@@ -250,7 +254,8 @@ class Rule:
 
     Subclasses set :attr:`code`, :attr:`name`, :attr:`summary`, and
     :attr:`invariant` (which PR's contract the rule guards — surfaced by
-    ``--list-rules`` and the docs), and implement :meth:`check`.
+    ``--list-rules`` and the docs), and implement :meth:`check` (per
+    module) and/or :meth:`check_project` (whole-program, once per run).
     """
 
     code: str = "RP000"
@@ -258,10 +263,26 @@ class Rule:
     summary: str = ""
     invariant: str = ""
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        """Yield findings for one module (suppressions applied later)."""
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
+        """Yield findings for one module (suppressions applied later).
+
+        ``project`` is the whole-program model when the engine ran a
+        full-tree pass, or None for single-module linting — rules that
+        *derive* their seams from the graph fall back to their manual
+        allowlists in that case.
+        """
         raise NotImplementedError
         yield  # pragma: no cover - generator typing aid
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield whole-program findings (graph/dataflow rules).
+
+        Called once per run, after every module's :meth:`check`.  The
+        default is no findings, so per-module rules need not override.
+        """
+        return iter(())
 
     def finding(
         self, ctx: ModuleContext, node: ast.AST, message: str
@@ -314,7 +335,8 @@ def get_rules(
 
 def _ensure_builtin_rules() -> None:
     # Imported lazily so `core` stays importable from `rules` without a
-    # cycle; importing `rules` runs its @register decorators.
+    # cycle; importing the rule modules runs their @register decorators.
+    from . import graph_rules as _graph_rules  # noqa: F401
     from . import rules as _rules  # noqa: F401
 
 
@@ -359,54 +381,110 @@ class LintResult:
         return not self.unsuppressed
 
 
+def _finding_key(finding: Finding) -> tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+def _run_rules(
+    contexts: Sequence[ModuleContext],
+    checkers: Sequence[Rule],
+    project: "Project | None",
+) -> list[Finding]:
+    """Per-module checks, then whole-program checks, suppressions applied.
+
+    Suppression lookup goes through the finding's *path* (not the module
+    the rule happened to be iterating), so a graph rule anchoring a
+    finding in another module still honors that module's waivers.
+    """
+    by_path = {ctx.rel_path: ctx for ctx in contexts}
+
+    def absorb(finding: Finding) -> Finding:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.is_suppressed(finding.rule, finding.line):
+            return replace(finding, suppressed=True)
+        return finding
+
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in checkers:
+            findings.extend(absorb(f) for f in rule.check(ctx, project))
+    if project is not None:
+        for rule in checkers:
+            findings.extend(absorb(f) for f in rule.check_project(project))
+    findings.sort(key=_finding_key)
+    return findings
+
+
 def lint_source(
     source: str, rel_path: str, rules: Sequence[Rule] | None = None
 ) -> list[Finding]:
-    """Lint one module given as text; returns all findings (sorted)."""
+    """Lint one module given as text; returns all findings (sorted).
+
+    Single-module mode: no project is built, so graph rules stay silent
+    and seam-derived rules use their manual fallbacks.
+    """
     ctx = ModuleContext(source, rel_path)
     checkers = list(rules) if rules is not None else all_rules()
-    findings: list[Finding] = []
-    for rule in checkers:
-        for finding in rule.check(ctx):
-            if ctx.is_suppressed(finding.rule, finding.line):
-                finding = Finding(
-                    rule=finding.rule,
-                    name=finding.name,
-                    message=finding.message,
-                    path=finding.path,
-                    line=finding.line,
-                    col=finding.col,
-                    suppressed=True,
-                )
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    return _run_rules([ctx], checkers, None)
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    rules: Sequence[Rule] | None = None,
+    config: "LintConfig | None" = None,
+) -> LintResult:
+    """Whole-program lint over in-memory modules (fixture entry point).
+
+    Args:
+        sources: rel_path → source text; paths use POSIX separators and
+            should start at ``repro/`` so package-scoped rules engage.
+        rules: Rule subset (default: every registered rule).
+        config: Declared contracts (default: the built-in defaults, no
+            pyproject discovery — fixtures stay hermetic).
+    """
+    from .project import Project
+
+    checkers = list(rules) if rules is not None else all_rules()
+    contexts = [
+        ModuleContext(text, rel_path)
+        for rel_path, text in sorted(sources.items())
+    ]
+    project = Project(contexts, config)
+    findings = _run_rules(contexts, checkers, project)
+    return LintResult(findings=findings, files_checked=len(contexts))
+
+
+def _parse_error(rel_path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="RP000",
+        name="parse-error",
+        message=f"could not parse module: {exc.msg}",
+        path=rel_path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+    )
 
 
 def lint_file(
     path: Path, root: Path | None = None, rules: Sequence[Rule] | None = None
 ) -> list[Finding]:
-    """Lint one file on disk."""
+    """Lint one file on disk (single-module mode, no project)."""
+    rel = _rel_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+        return lint_source(source, rel, rules)
+    except SyntaxError as exc:
+        return [_parse_error(rel, exc)]
+
+
+def _rel_path(path: Path, root: Path | None) -> str:
     rel = path
     if root is not None:
         try:
             rel = path.relative_to(root)
         except ValueError:
             rel = path
-    try:
-        source = path.read_text(encoding="utf-8")
-        return lint_source(source, rel.as_posix(), rules)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="RP000",
-                name="parse-error",
-                message=f"could not parse module: {exc.msg}",
-                path=rel.as_posix(),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-            )
-        ]
+    return rel.as_posix()
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -425,8 +503,14 @@ def lint_paths(
     paths: Sequence[str | Path],
     root: str | Path | None = None,
     rules: Sequence[Rule] | None = None,
+    whole_program: bool = True,
 ) -> LintResult:
     """Lint files and directories; the package entry point's engine.
+
+    The file set is deduplicated and globally sorted by *reported path*
+    before any rule runs, so findings come out byte-identical whatever
+    order the filesystem (or the caller's path list) produced — ordering
+    is an engine guarantee, not a reporter courtesy.
 
     Args:
         paths: Files or directory roots (directories are walked for
@@ -434,12 +518,37 @@ def lint_paths(
         root: Paths in findings are reported relative to this (default:
             the current working directory when paths are relative).
         rules: Rule subset (default: every registered rule).
+        whole_program: Build the cross-module :class:`Project` (import
+            graph, call graph, declared contracts from the nearest
+            ``pyproject.toml``) and run graph rules over it.  False
+            reverts to v1 per-module behavior.
     """
     root_path = Path(root) if root is not None else None
+    checkers = list(rules) if rules is not None else all_rules()
+    file_list = [Path(p) for p in paths]
+    by_rel: dict[str, Path] = {}
+    for file_path in iter_python_files(file_list):
+        by_rel.setdefault(_rel_path(file_path, root_path), file_path)
+
     findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
     files_checked = 0
-    for file_path in iter_python_files([Path(p) for p in paths]):
+    for rel in sorted(by_rel):
         files_checked += 1
-        findings.extend(lint_file(file_path, root_path, rules))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        try:
+            source = by_rel[rel].read_text(encoding="utf-8")
+            contexts.append(ModuleContext(source, rel))
+        except SyntaxError as exc:
+            findings.append(_parse_error(rel, exc))
+
+    project: "Project | None" = None
+    if whole_program and contexts:
+        from .project import LintConfig, Project
+
+        anchor = root_path if root_path is not None else (
+            file_list[0] if file_list else Path.cwd()
+        )
+        project = Project(contexts, LintConfig.discover(anchor))
+    findings.extend(_run_rules(contexts, checkers, project))
+    findings.sort(key=_finding_key)
     return LintResult(findings=findings, files_checked=files_checked)

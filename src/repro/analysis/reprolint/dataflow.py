@@ -1,0 +1,278 @@
+"""Intraprocedural def-use/taint analysis for the dataflow rules.
+
+A deliberately small abstract interpreter over one function body: names
+carry *taint sets* (which source call family a value derives from), and
+assignments, arithmetic, container literals, f-strings, and conservative
+call-result propagation move the taint forward.  Statements are swept
+repeatedly until the environment stops growing (a monotone union
+fixpoint, so loops that carry taint backwards converge), then a final
+pass records the taint of every call's argument list for the rules to
+match against their sink sets.
+
+This is the layer RP008 states the determinism contract on: a value
+that *originated* at a wall-clock read must never reach a persistence
+or PS-payload sink, whatever arithmetic happened in between.  The
+analysis is intraprocedural on purpose — cross-function flows go
+through the call graph rules instead, keeping false positives (and
+runtime) bounded.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["Taint", "TaintResult", "analyze_taint"]
+
+#: Sweeps before giving up on convergence (environments only grow, so
+#: this bounds pathological nesting, not correctness on sane code).
+_MAX_SWEEPS = 8
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One taint origin: the source family and where it entered.
+
+    Attributes:
+        source: Resolved qualname of the originating call
+            (``repro.utils.timing.wall_clock``).
+        line: 1-based line of the originating call.
+    """
+
+    source: str
+    line: int
+
+
+@dataclass
+class TaintResult:
+    """Outcome of one function's taint sweep.
+
+    Attributes:
+        env: Final name → taint-set environment.
+        call_args: ``id(call_node)`` → union of taints flowing into the
+            call's positional and keyword arguments.
+        returns: Union of taints over every ``return`` expression (for
+            callers that want a cheap interprocedural hint).
+    """
+
+    env: dict[str, frozenset[Taint]]
+    call_args: dict[int, frozenset[Taint]]
+    returns: frozenset[Taint]
+
+
+def analyze_taint(
+    fn_node: ast.AST,
+    source_of: Callable[[ast.Call], str | None],
+) -> TaintResult:
+    """Run the taint sweep over one function (or module) body.
+
+    Args:
+        fn_node: A ``FunctionDef`` / ``AsyncFunctionDef`` (or any node
+            with a ``body``); nested function defs are skipped — they
+            have their own scope and their own sweep.
+        source_of: Maps a call node to a source qualname when the call
+            *originates* taint (a clock read), else None.
+    """
+    body = getattr(fn_node, "body", [])
+    analysis = _Sweep(source_of)
+    for _ in range(_MAX_SWEEPS):
+        before = analysis.snapshot()
+        for stmt in body:
+            analysis.visit_stmt(stmt)
+        if analysis.snapshot() == before:
+            break
+    analysis.record_calls = True
+    for stmt in body:
+        analysis.visit_stmt(stmt)
+    return TaintResult(
+        env={name: frozenset(ts) for name, ts in analysis.env.items()},
+        call_args=dict(analysis.call_args),
+        returns=frozenset(analysis.returns),
+    )
+
+
+class _Sweep:
+    def __init__(self, source_of: Callable[[ast.Call], str | None]) -> None:
+        self.source_of = source_of
+        self.env: dict[str, set[Taint]] = {}
+        self.call_args: dict[int, frozenset[Taint]] = {}
+        self.returns: set[Taint] = set()
+        self.record_calls = False
+
+    def snapshot(self) -> Mapping[str, frozenset[Taint]]:
+        return {name: frozenset(ts) for name, ts in self.env.items()}
+
+    # -- statements ----------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval_expr(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, taints)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.assign(stmt.target, self.eval_expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval_expr(stmt.value) | self.read_target(stmt.target)
+            self.assign(stmt.target, taints)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval_expr(stmt.test)
+            for sub in (*stmt.body, *stmt.orelse):
+                self.visit_stmt(sub)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.assign(stmt.target, self.eval_expr(stmt.iter))
+            for sub in (*stmt.body, *stmt.orelse):
+                self.visit_stmt(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taints)
+            for sub in stmt.body:
+                self.visit_stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in (
+                *stmt.body,
+                *stmt.orelse,
+                *stmt.finalbody,
+            ):
+                self.visit_stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self.visit_stmt(sub)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate scope, separate sweep
+        elif isinstance(stmt, ast.ClassDef):
+            return
+        # Other statements (pass/raise/import/...) carry no assignments.
+
+    # -- expressions ---------------------------------------------------
+
+    def eval_expr(self, expr: ast.expr | None) -> set[Taint]:
+        if expr is None:
+            return set()
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Await):
+            return self.eval_expr(expr.value)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            return self.eval_expr(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self.eval_expr(expr.value) | self.eval_expr(expr.slice)
+        if isinstance(expr, ast.BinOp):
+            return self.eval_expr(expr.left) | self.eval_expr(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval_expr(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            return self.union(expr.values)
+        if isinstance(expr, ast.Compare):
+            return self.eval_expr(expr.left) | self.union(expr.comparators)
+        if isinstance(expr, ast.IfExp):
+            return (
+                self.eval_expr(expr.body)
+                | self.eval_expr(expr.orelse)
+                | self.eval_expr(expr.test)
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return self.union(expr.elts)
+        if isinstance(expr, ast.Dict):
+            return self.union(
+                [k for k in expr.keys if k is not None]
+            ) | self.union(expr.values)
+        if isinstance(expr, ast.JoinedStr):
+            return self.union(
+                [
+                    value.value
+                    for value in expr.values
+                    if isinstance(value, ast.FormattedValue)
+                ]
+            )
+        if isinstance(expr, ast.FormattedValue):
+            return self.eval_expr(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.eval_expr(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            taints = self.eval_expr(expr.elt)
+            for gen in expr.generators:
+                taints |= self.eval_expr(gen.iter)
+            return taints
+        if isinstance(expr, ast.DictComp):
+            taints = self.eval_expr(expr.key) | self.eval_expr(expr.value)
+            for gen in expr.generators:
+                taints |= self.eval_expr(gen.iter)
+            return taints
+        if isinstance(expr, ast.NamedExpr):
+            taints = self.eval_expr(expr.value)
+            self.assign(expr.target, taints)
+            return taints
+        return set()
+
+    def eval_call(self, call: ast.Call) -> set[Taint]:
+        arg_taints: set[Taint] = set()
+        for arg in call.args:
+            arg_taints |= self.eval_expr(arg)
+        for kw in call.keywords:
+            arg_taints |= self.eval_expr(kw.value)
+        # Method calls on a tainted receiver keep the receiver tainted
+        # (list.append of a tainted element is handled below instead).
+        receiver = self.receiver_name(call)
+        if receiver is not None and arg_taints:
+            self.env.setdefault(receiver, set()).update(arg_taints)
+        if self.record_calls:
+            self.call_args[id(call)] = frozenset(arg_taints)
+        source = self.source_of(call)
+        if source is not None:
+            return {Taint(source=source, line=call.lineno)}
+        # Conservative: a pure computation over tainted inputs stays
+        # tainted (float(t), abs(t), f(t) — no sanitizer modeling).
+        return arg_taints | self.eval_expr(
+            call.func.value if isinstance(call.func, ast.Attribute) else None
+        )
+
+    # -- helpers -------------------------------------------------------
+
+    def union(self, exprs: Iterable[ast.expr]) -> set[Taint]:
+        taints: set[Taint] = set()
+        for expr in exprs:
+            taints |= self.eval_expr(expr)
+        return taints
+
+    @staticmethod
+    def receiver_name(call: ast.Call) -> str | None:
+        """Base name for mutating method calls (``d.append(t)`` → d)."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            return func.value.id
+        return None
+
+    def read_target(self, target: ast.expr) -> set[Taint]:
+        if isinstance(target, ast.Name):
+            return set(self.env.get(target.id, ()))
+        return self.eval_expr(target)
+
+    def assign(self, target: ast.expr, taints: set[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            if taints:
+                self.env.setdefault(target.id, set()).update(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, taints)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taints)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # Storing a tainted value into a container/object taints the
+            # container's base name (d["t"] = now → d is tainted).
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name) and taints:
+                self.env.setdefault(base.id, set()).update(taints)

@@ -1,16 +1,24 @@
-"""The project-specific invariant rules (RP001–RP006).
+"""The project-specific per-module invariant rules (RP001–RP006).
 
 Each rule encodes one contract an earlier PR introduced and the test
-suite only enforces dynamically:
+suite only enforces dynamically (the whole-program rules RP007–RP010
+live in :mod:`repro.analysis.reprolint.graph_rules`):
 
 * RP001 ``unseeded-randomness`` — every stochastic path takes a seeded
   ``numpy.random.Generator`` (``repro.utils.rng.spawn_rng``); module-
-  level RNG state would break bit-identity across runs and backends.
+  level RNG state, stdlib ``random``, and raw OS entropy
+  (``uuid.uuid4``, ``os.urandom``, ``secrets.*``) would all break
+  bit-identity across runs and backends.
 * RP002 ``wall-clock-outside-seam`` — real-time reads live in the phase
   accounting seam (``runtime/phases.py`` / ``runtime/build.py``), the
   serving runtime's timing seam (``serving/clock.py``), or go through
   :func:`repro.utils.timing.wall_clock`; stray ``time.*`` pairs produce
-  unphased seconds no report can attribute.
+  unphased seconds no report can attribute.  Under a whole-program run
+  the seam is *derived*: the seam modules come from the declared
+  ``[tool.reprolint]`` contract and a clock read is also permitted in
+  any function transitively called only from seam modules; the manual
+  module list below survives as the single-module fallback and is
+  patrol-tested against the derivation.
 * RP003 ``shm-lifecycle`` — a class creating ``SharedMemory(create=True)``
   segments must also release them (a method calling both ``close()`` and
   ``unlink()``) and manage lifetime (``__exit__`` or ``__del__``); the
@@ -24,15 +32,21 @@ suite only enforces dynamically:
   aggregation), not a numpy default.
 * RP006 ``ps-seq-token`` — PS push handlers and callers thread the
   per-round ``seq`` idempotency token (the PR 3 recovery contract: a
-  retried delivery must never double-count a histogram).
+  retried delivery must never double-count a histogram).  Under a
+  whole-program run the handler/pusher pairing is derived from the call
+  graph (a pusher is whatever in ``ps/`` reaches a ``handle_push*``
+  handler); the name lists survive as the fallback and the patrol test.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .core import Finding, ModuleContext, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import Project
 
 __all__ = [
     "UnseededRandomness",
@@ -65,8 +79,9 @@ class UnseededRandomness(Rule):
     code = "RP001"
     name = "unseeded-randomness"
     summary = (
-        "no numpy.random module functions, stdlib random.*, or argless "
-        "default_rng() — randomness must come from a seeded Generator"
+        "no numpy.random module functions, stdlib random.*, argless "
+        "default_rng(), or OS entropy (uuid4/urandom/secrets) — "
+        "randomness must come from a seeded Generator"
     )
     invariant = (
         "bit-identical runs for a fixed seed across trainers, backends, "
@@ -89,12 +104,39 @@ class UnseededRandomness(Rule):
         }
     )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    #: Direct OS-entropy draws: nondeterministic by construction, so any
+    #: use on a reproducible path needs an audited waiver (the shm
+    #: segment-name generators are the canonical justified case).
+    _ENTROPY_CALLS = frozenset(
+        {
+            "uuid.uuid1",
+            "uuid.uuid4",
+            "os.urandom",
+            "secrets.token_bytes",
+            "secrets.token_hex",
+            "secrets.token_urlsafe",
+            "secrets.randbits",
+            "secrets.randbelow",
+            "secrets.choice",
+        }
+    )
+
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
         for call in _calls(ctx):
             qualname = ctx.qualname(call.func)
             if qualname is None:
                 continue
-            if qualname.startswith("numpy.random."):
+            if qualname in self._ENTROPY_CALLS:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{qualname}() draws OS entropy and is never "
+                    "reproducible; derive the value from seeded state or "
+                    "justify a suppression",
+                )
+            elif qualname.startswith("numpy.random."):
                 attr = qualname.split(".")[2]
                 if attr == "default_rng":
                     if not call.args and not call.keywords:
@@ -169,18 +211,38 @@ class WallClockOutsideSeam(Rule):
     #: serving runtime's single timing seam (``serving/clock.py``):
     #: every event-loop deadline, admission stamp, and stage latency of
     #: the online runtime reads that module, never ``time.*`` directly.
+    #: Single-module fallback only — whole-program runs derive the seam
+    #: from ``[tool.reprolint].clock_seam``; the patrol test asserts the
+    #: two stay equal.
     _ALLOWED_SUFFIXES = (
         "repro/runtime/phases.py",
         "repro/runtime/build.py",
         "repro/serving/clock.py",
     )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if ctx.rel_path.endswith(self._ALLOWED_SUFFIXES):
+    @classmethod
+    def seam_suffixes(cls, project: "Project | None") -> tuple[str, ...]:
+        """The seam module suffixes in force for this run.
+
+        Derived from the declared contract when a project is available,
+        the manual fallback otherwise.
+        """
+        if project is not None:
+            return tuple(project.config.clock_seam)
+        return cls._ALLOWED_SUFFIXES
+
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
+        if ctx.rel_path.endswith(self.seam_suffixes(project)):
             return
         for call in _calls(ctx):
             qualname = ctx.qualname(call.func)
             if qualname in self._CLOCK_CALLS:
+                if project is not None and self._called_only_from_seam(
+                    ctx, call, project
+                ):
+                    continue
                 yield self.finding(
                     ctx,
                     call,
@@ -188,6 +250,41 @@ class WallClockOutsideSeam(Rule):
                     "use repro.utils.timing.wall_clock/Stopwatch so the "
                     "read stays auditable and phase-attributable",
                 )
+
+    def _called_only_from_seam(
+        self, ctx: ModuleContext, call: ast.Call, project: "Project"
+    ) -> bool:
+        """Whether the clock read's function belongs to the *derived* seam.
+
+        A function is seam-derived when every path of callers reaching
+        it terminates inside a declared seam module — i.e. the function
+        is an extraction of seam code, not a new unphased read.  A
+        function with no known callers (or in a caller cycle) is not.
+        """
+        fn = project.function_at(ctx.rel_path, call)
+        if fn is None:
+            return False
+        suffixes = self.seam_suffixes(project)
+
+        def in_seam(qualname: str) -> bool:
+            owner = project.functions.get(qualname)
+            return owner is not None and owner.rel_path.endswith(suffixes)
+
+        verdicts: dict[str, bool] = {}
+
+        def only_seam_callers(qualname: str) -> bool:
+            if qualname in verdicts:
+                return verdicts[qualname]
+            verdicts[qualname] = False  # cycle guard: a cycle never clears
+            callers = project.callers_of(qualname)
+            if not callers:
+                return False
+            verdicts[qualname] = all(
+                in_seam(c) or only_seam_callers(c) for c in callers
+            )
+            return verdicts[qualname]
+
+        return only_seam_callers(fn.qualname)
 
 
 @register
@@ -205,7 +302,9 @@ class SharedMemoryLifecycle(Rule):
         "histogram/shared.py and inference/parallel.py)"
     )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
         for call in _calls(ctx):
             qualname = ctx.qualname(call.func)
             if qualname is None or not qualname.endswith("SharedMemory"):
@@ -305,7 +404,9 @@ class ForkUnsafePoolState(Rule):
             for target in ctx.aliases.values()
         )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
         if not self._in_scope(ctx):
             return
         for node in ctx.tree.body:
@@ -400,7 +501,8 @@ class ImplicitDtype(Rule):
     name = "implicit-dtype"
     summary = (
         "np.zeros/empty/ones/full without dtype= in histogram/, "
-        "inference/, tree/, and ps/ kernel paths"
+        "inference/, tree/, ps/, sketch/, compression/, and serving/ "
+        "kernel paths"
     )
     invariant = (
         "explicit float64 accumulators (unbiased low-precision "
@@ -414,9 +516,14 @@ class ImplicitDtype(Rule):
         "numpy.ones": 1,
         "numpy.full": 2,
     }
-    _KERNEL_PACKAGES = frozenset({"histogram", "inference", "tree", "ps"})
+    _KERNEL_PACKAGES = frozenset(
+        {"histogram", "inference", "tree", "ps", "sketch", "serving",
+         "compression"}
+    )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
         parts = set(ctx.path_parts)
         if "repro" not in parts or not (parts & self._KERNEL_PACKAGES):
             return
@@ -454,6 +561,9 @@ class PSSequenceToken(Rule):
     )
 
     #: Server-side handlers that must accept *and read* ``seq``.
+    #: Single-module fallback only — whole-program runs derive both sets
+    #: from the call graph (:meth:`derive_seams`); the patrol test
+    #: asserts derivation and fallback agree on ``src/``.
     _HANDLER_NAMES = (
         "handle_push",
         "handle_push_slab",
@@ -469,19 +579,54 @@ class PSSequenceToken(Rule):
         "push_window_rows",
     )
 
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+    @classmethod
+    def derive_seams(
+        cls, project: "Project"
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(handler names, pusher names) computed from the call graph.
+
+        A *handler* is any ``ps/`` function named ``handle_push*``.  A
+        *pusher* is any other ``ps/`` function that calls a handler —
+        the client half of the idempotency pairing, found by following
+        the edges instead of maintaining a name list.
+        """
+        handlers: set[str] = set()
+        handler_quals: set[str] = set()
+        for fn in project.functions_in_package("ps"):
+            if fn.name.startswith("handle_push"):
+                handlers.add(fn.name)
+                handler_quals.add(fn.qualname)
+        pushers: set[str] = set()
+        for fn in project.functions_in_package("ps"):
+            if fn.name.startswith("handle_push"):
+                continue
+            if project.callees_of(fn.qualname) & handler_quals:
+                pushers.add(fn.name)
+        return frozenset(handlers), frozenset(pushers)
+
+    def _seams(
+        self, project: "Project | None"
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        if project is not None:
+            return self.derive_seams(project)
+        return frozenset(self._HANDLER_NAMES), frozenset(self._PUSHER_NAMES)
+
+    def check(
+        self, ctx: ModuleContext, project: "Project | None" = None
+    ) -> Iterator[Finding]:
+        handlers, pushers = self._seams(project)
         in_ps = "ps" in ctx.path_parts
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.FunctionDef) and in_ps:
-                if node.name in self._HANDLER_NAMES:
+                if node.name in handlers:
                     yield from self._check_handler_def(ctx, node)
-                elif node.name in self._PUSHER_NAMES:
+                elif node.name in pushers:
                     yield from self._check_pusher_def(ctx, node)
             if isinstance(node, ast.Call):
                 func = node.func
                 if (
                     isinstance(func, ast.Attribute)
-                    and func.attr in (*self._HANDLER_NAMES, *self._PUSHER_NAMES)
+                    and func.attr in (handlers | pushers)
                     and not _has_keyword(node, "seq")
                     and not _has_star_kwargs(node)
                 ):

@@ -351,8 +351,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--output", args.output]
     if args.select is not None:
         forwarded += ["--select", args.select]
+    if args.ignore is not None:
+        forwarded += ["--ignore", args.ignore]
     if args.show_suppressed:
         forwarded.append("--show-suppressed")
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline is not None:
+        forwarded += ["--write-baseline", args.write_baseline]
     return reprolint_main(forwarded)
 
 
@@ -514,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run reprolint, the repo's invariant checker (RP001-RP006)",
+        help="run reprolint, the repo's invariant checker (RP001-RP010)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/dirs (default: src)"
@@ -522,7 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--output", default=None, metavar="FILE")
     lint.add_argument("--select", default=None, metavar="CODES")
+    lint.add_argument("--ignore", default=None, metavar="CODES")
     lint.add_argument("--show-suppressed", action="store_true")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="fail only on findings not recorded in this baseline JSON",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record current findings to FILE and exit 0",
+    )
     lint.set_defaults(func=cmd_lint)
     return parser
 

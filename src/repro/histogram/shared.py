@@ -84,7 +84,7 @@ class SharedShard:
     def __init__(self, shard: BinnedShard, n_slots: int) -> None:
         if n_slots < 1:
             raise ValueError(f"n_slots must be >= 1, got {n_slots}")
-        self.token = SHM_PREFIX + uuid.uuid4().hex[:16]
+        self.token = SHM_PREFIX + uuid.uuid4().hex[:16]  # reprolint: disable=RP001 -- segment *names* must be unique per process, never replayed; no numeric state derives from them
         self.n_rows = shard.n_rows
         self.n_features = shard.n_features
         self.n_bins = shard.n_bins

@@ -67,7 +67,7 @@ class SharedScoreContext:
     """
 
     def __init__(self, ensemble: FlatEnsemble, X: CSRMatrix) -> None:
-        self.token = SHM_PREFIX + uuid.uuid4().hex[:16]
+        self.token = SHM_PREFIX + uuid.uuid4().hex[:16]  # reprolint: disable=RP001 -- segment *names* must be unique per process, never replayed; no numeric state derives from them
         self._segments: list[shared_memory.SharedMemory] = []
         self._closed = False
         self.manifest: dict = {

@@ -1,0 +1,16 @@
+"""Known-bad RP007 fixture: blocking work on the serving event loop."""
+
+import time
+
+
+class Runtime:
+    async def handle(self, request):
+        time.sleep(0.01)  # expect: RP007
+        payload = open("model.json")  # expect: RP007
+        return payload
+
+    async def reload(self, path):
+        return self._load(path)
+
+    def _load(self, path):
+        return path.read_text()  # expect: RP007

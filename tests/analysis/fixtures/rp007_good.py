@@ -1,0 +1,24 @@
+"""Known-good RP007 twin: blocking work crosses the executor seam.
+
+``run_in_executor`` receives the kernel/loader as an *argument*, never
+calls it on the loop — the structural shape RP007 admits without any
+whitelist.  ``await asyncio.sleep`` suspends instead of blocking.
+"""
+
+import asyncio
+
+
+class Runtime:
+    def __init__(self, pool, store):
+        self.pool = pool
+        self.store = store
+
+    async def handle(self, version, batch):
+        await asyncio.sleep(0.01)
+        loop = asyncio.get_running_loop()
+        raw = await loop.run_in_executor(self.pool, version.predict_raw, batch)
+        return raw
+
+    async def reload(self, path):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.pool, self.store.load, path)

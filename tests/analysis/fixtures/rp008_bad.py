@@ -1,0 +1,21 @@
+"""Known-bad RP008 fixture: wall-clock values flow into persisted state.
+
+The raw ``time.*`` reads double as RP002 findings here; the RP008 tests
+filter by code, the point is the *flow* into the sinks below.
+"""
+
+import json
+import time
+
+
+def snapshot(model, path):
+    stamp = time.time()  # expect: RP002
+    payload = {"weights": model, "saved_at": stamp}
+    with open(path, "w") as fh:
+        json.dump(payload, fh)  # expect: RP008
+
+
+def push_update(group, flat):
+    started = time.perf_counter()  # expect: RP002
+    elapsed = time.perf_counter() - started  # expect: RP002
+    group.push_row("grad", 0, flat + elapsed, seq=1)  # expect: RP008

@@ -1,0 +1,24 @@
+"""Known-good RP008 twin: clock values feed responses, never artifacts.
+
+Latencies on the wire (``json.dumps``) are legitimate; what is persisted
+(``json.dump``) or pushed carries no wall-clock provenance.  The raw
+``time.*`` reads still trip RP002 here — the RP008 tests filter by code.
+"""
+
+import json
+import time
+
+
+def snapshot(model, path):
+    payload = {"weights": model}
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def respond(started):
+    elapsed = time.perf_counter() - started  # expect: RP002
+    return json.dumps({"latency_ms": elapsed * 1000.0})
+
+
+def push_update(group, flat):
+    group.push_row("grad", 0, flat, seq=2)

@@ -1,0 +1,15 @@
+"""Known-bad RP009 fixture: a kernel module imports orchestration.
+
+Linted with the pretend path ``repro/tree/fixture.py``, so the declared
+layering for ``repro.tree`` applies.
+"""
+
+import asyncio  # expect: RP009
+
+from repro.serving import runtime  # expect: RP009
+
+
+def grow(tree, loop=None):
+    if loop is None:
+        loop = asyncio.new_event_loop()
+    return runtime, loop

@@ -1,0 +1,18 @@
+"""Known-good RP009 twin: the kernel imports kernels and numpy only.
+
+An ``if TYPE_CHECKING:`` import of an orchestration type is exempt —
+annotations create no runtime dependency.
+"""
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.histogram import builder
+
+if TYPE_CHECKING:
+    from repro.serving.runtime import ServingRuntime
+
+
+def grow(tree, hist: "ServingRuntime | None" = None):
+    return builder, np.asarray(tree, dtype=np.float64)

@@ -1,0 +1,21 @@
+"""Known-bad RP010 fixture: encode-then-raw-push double quantization.
+
+``push_row`` re-encodes its input, so feeding it an already-compressed
+payload quantizes twice — directly or through a helper.
+"""
+
+from repro.compression.lowprec import compress_flat
+
+
+def flush(group, grad, bits, rng):
+    encoded = compress_flat(grad, bits, rng)  # expect: RP010
+    group.push_row("grad", 0, encoded.payload, seq=3)
+
+
+def flush_via_helper(group, grad, bits, rng):
+    encoded = compress_flat(grad, bits, rng)  # expect: RP010
+    _send(group, encoded)
+
+
+def _send(group, encoded):
+    group.push_row("grad", 0, encoded.payload, seq=3)

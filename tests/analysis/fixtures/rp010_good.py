@@ -1,0 +1,18 @@
+"""Known-good RP010 twin: pre-encoded payloads ride the window seam.
+
+``push_window_rows`` is the PR 8 pre-encode seam — it delivers entries
+verbatim, no second quantization — and an uncompressed ``push_row`` is
+always fine.
+"""
+
+from repro.compression.lowprec import compress_flat
+
+
+def flush(group, grad, bits, rng):
+    encoded = compress_flat(grad, bits, rng)
+    entries = [(0, 0, encoded.payload, encoded.wire_bytes)]
+    group.push_window_rows("grad", entries, seq=3)
+
+
+def push_raw(group, grad):
+    group.push_row("grad", 0, grad, seq=4)
